@@ -1,0 +1,77 @@
+// Command hddgen emits a synthetic Backblaze-style SMART telemetry fleet as
+// CSV: one row per drive-day with the 20 raw SMART attributes plus drive id,
+// day index, and failure label on the drive's last day.
+//
+// Usage:
+//
+//	hddgen [-drives 120] [-days 120] [-seed 7] [-out smart.csv]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"mdes/internal/hddgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hddgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hddgen", flag.ContinueOnError)
+	cfg := hddgen.Default()
+	fs.IntVar(&cfg.Drives, "drives", cfg.Drives, "number of drives")
+	fs.IntVar(&cfg.Days, "days", cfg.Days, "days of telemetry per drive")
+	fs.Float64Var(&cfg.FailureRate, "failure-rate", cfg.FailureRate, "fraction of failing drives")
+	fs.IntVar(&cfg.DegradationLead, "lead", cfg.DegradationLead, "mean degradation lead days")
+	fs.Float64Var(&cfg.DetectableFrac, "detectable", cfg.DetectableFrac, "fraction of failures with visible degradation")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	out := fs.String("out", "", "CSV output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fleet, err := hddgen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"drive", "day", "failure"}, hddgen.RawFeatures...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, d := range fleet.Drives {
+		for day := 0; day < d.Days; day++ {
+			row[0] = d.ID
+			row[1] = strconv.Itoa(day)
+			row[2] = strconv.FormatBool(d.Failed && day == d.Days-1)
+			for i, f := range hddgen.RawFeatures {
+				row[3+i] = strconv.FormatFloat(d.Features[f][day], 'g', -1, 64)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

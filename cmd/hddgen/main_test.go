@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+
+	"mdes/internal/hddgen"
+)
+
+func TestRunEmitsFleetCSV(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-drives", "4", "-days", "10", "-failure-rate", "0.5", "-lead", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+4*10 {
+		t.Fatalf("rows = %d, want header + 40", len(rows))
+	}
+	if len(rows[0]) != 3+len(hddgen.RawFeatures) {
+		t.Fatalf("columns = %d", len(rows[0]))
+	}
+	if rows[0][0] != "drive" || rows[0][3] != hddgen.RawFeatures[0] {
+		t.Fatalf("header = %v", rows[0][:4])
+	}
+	var failures int
+	for _, r := range rows[1:] {
+		if r[2] == "true" {
+			failures++
+		}
+	}
+	if failures != 2 {
+		t.Fatalf("failure rows = %d, want 2", failures)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-drives", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdes"
+	"mdes/internal/seqio"
+)
+
+// trainToyModel trains a tiny model in-process and saves it where the CLI
+// can load it.
+func trainToyModel(t *testing.T, dir string) (modelPath, testCSV string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	gen := func(ticks int, decoupleFrom int) *seqio.Dataset {
+		a := make([]string, ticks)
+		b := make([]string, ticks)
+		state := "ON"
+		for i := 0; i < ticks; i++ {
+			if rng.Float64() < 0.15 {
+				if state == "ON" {
+					state = "OFF"
+				} else {
+					state = "ON"
+				}
+			}
+			a[i] = state
+			b[i] = state
+			if decoupleFrom >= 0 && i >= decoupleFrom {
+				if rng.Float64() < 0.5 {
+					b[i] = "ON"
+				} else {
+					b[i] = "OFF"
+				}
+			}
+		}
+		return &seqio.Dataset{Sequences: []seqio.Sequence{
+			{Sensor: "a", Events: a}, {Sensor: "b", Events: b},
+		}}
+	}
+	full := gen(400, -1)
+	train, dev, _, err := full.Split(280, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mdes.Config{
+		Language: mdes.LanguageConfig{WordLen: 3, WordStride: 1, SentenceLen: 4, SentenceStride: 4},
+		NMT: mdes.NMTConfig{
+			Embed: 12, Hidden: 12, Layers: 1,
+			LearningRate: 5e-3, ClipNorm: 5,
+			TrainSteps: 80, BatchSize: 8, MaxDecodeLen: 8,
+		},
+		ValidRange:      mdes.Range{Lo: 0, Hi: 100},
+		PopularInDegree: 5,
+		Seed:            2,
+	}
+	fw, err := mdes.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := fw.Train(context.Background(), train, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath = filepath.Join(dir, "model.json")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	testCSV = filepath.Join(dir, "test.csv")
+	tf, err := os.Create(testCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if err := gen(200, 100).WriteCSV(tf); err != nil {
+		t.Fatal(err)
+	}
+	return modelPath, testCSV
+}
+
+func TestDetectEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	modelPath, testCSV := trainToyModel(t, dir)
+	var out bytes.Buffer
+	err := run([]string{"-model", modelPath, "-in", testCSV, "-threshold", "0.5", "-alerts"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "a_t=") {
+		t.Fatalf("no anomaly scores printed:\n%s", text)
+	}
+	// The decoupled second half should trigger at least one flagged line
+	// and a fault diagnosis.
+	if !strings.Contains(text, "!") {
+		t.Fatalf("no timestamp flagged:\n%s", text)
+	}
+	if !strings.Contains(text, "fault diagnosis") {
+		t.Fatalf("no diagnosis printed:\n%s", text)
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run([]string{"-in", "x.csv", "-model", "/no/such/model.json"}, &out); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdes/internal/seqio"
+)
+
+// writeToyLog writes a small CSV log with two coupled sensors and one noise
+// sensor.
+func writeToyLog(t *testing.T, path string, ticks int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	a := make([]string, ticks)
+	b := make([]string, ticks)
+	c := make([]string, ticks)
+	state := "ON"
+	for i := 0; i < ticks; i++ {
+		if rng.Float64() < 0.15 {
+			if state == "ON" {
+				state = "OFF"
+			} else {
+				state = "ON"
+			}
+		}
+		a[i] = state
+		b[i] = state
+		if rng.Float64() < 0.5 {
+			c[i] = "HI"
+		} else {
+			c[i] = "LO"
+		}
+	}
+	ds := &seqio.Dataset{Sequences: []seqio.Sequence{
+		{Sensor: "a", Events: a}, {Sensor: "b", Events: b}, {Sensor: "c", Events: c},
+	}}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ds.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.csv")
+	modelPath := filepath.Join(dir, "model.json")
+	writeToyLog(t, logPath, 420)
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-in", logPath, "-train-ticks", "300", "-dev-ticks", "120",
+		"-word", "3", "-sentence", "4", "-sentence-stride", "4",
+		"-hidden", "12", "-layers", "1", "-steps", "60",
+		"-valid-lo", "0", "-valid-hi", "100",
+		"-model", modelPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trained 3 sensors (6 pair models") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+	if fi, err := os.Stat(modelPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("model file missing: %v", err)
+	}
+}
+
+func TestTrainUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run([]string{"-in", "x.csv"}, &out); err == nil {
+		t.Fatal("missing ticks accepted")
+	}
+	if err := run([]string{"-in", "/no/such/file.csv", "-train-ticks", "10", "-dev-ticks", "5"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

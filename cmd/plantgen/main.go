@@ -1,0 +1,86 @@
+// Command plantgen emits a synthetic physical-plant event log as CSV (one
+// column per sensor, one row per minute) plus an optional ground-truth JSON
+// (clusters, anomaly days, popular sensors) for evaluation.
+//
+// Usage:
+//
+//	plantgen [-sensors 128] [-days 30] [-seed 1] [-out plant.csv] [-truth truth.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mdes/internal/plantgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "plantgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("plantgen", flag.ContinueOnError)
+	cfg := plantgen.Default()
+	fs.IntVar(&cfg.Sensors, "sensors", cfg.Sensors, "number of sensors")
+	fs.IntVar(&cfg.Days, "days", cfg.Days, "number of days")
+	fs.IntVar(&cfg.MinutesPerDay, "minutes", cfg.MinutesPerDay, "samples per day")
+	fs.IntVar(&cfg.Clusters, "clusters", cfg.Clusters, "latent component clusters")
+	fs.IntVar(&cfg.Popular, "popular", cfg.Popular, "system-mode sensors")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	out := fs.String("out", "", "CSV output file (default stdout)")
+	truth := fs.String("truth", "", "optional ground-truth JSON output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// The default anomaly schedule targets a 30-day horizon; when the user
+	// shortens the run, keep only the anomalies that still fit.
+	anomalies := cfg.Anomalies[:0]
+	for _, a := range cfg.Anomalies {
+		if a.Day <= cfg.Days {
+			anomalies = append(anomalies, a)
+		}
+	}
+	cfg.Anomalies = anomalies
+	precursors := cfg.Precursors[:0]
+	for _, d := range cfg.Precursors {
+		if d <= cfg.Days {
+			precursors = append(precursors, d)
+		}
+	}
+	cfg.Precursors = precursors
+
+	ds, gt, err := plantgen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		return err
+	}
+	if *truth != "" {
+		data, err := json.MarshalIndent(gt, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*truth, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdes/internal/seqio"
+)
+
+func TestRunWritesCSVToStdout(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-sensors", "6", "-days", "2", "-minutes", "60", "-clusters", "2", "-popular", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := seqio.ReadCSV(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Sequences) != 6 || ds.Ticks() != 120 {
+		t.Fatalf("CSV shape = %d sensors × %d ticks", len(ds.Sequences), ds.Ticks())
+	}
+}
+
+func TestRunWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "plant.csv")
+	truthPath := filepath.Join(dir, "truth.json")
+	err := run([]string{
+		"-sensors", "6", "-days", "2", "-minutes", "60", "-clusters", "2",
+		"-popular", "1", "-out", csvPath, "-truth", truthPath,
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := seqio.ReadCSV(f); err != nil {
+		t.Fatalf("CSV file unreadable: %v", err)
+	}
+	raw, err := os.ReadFile(truthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gt struct {
+		Popular []string
+	}
+	if err := json.Unmarshal(raw, &gt); err != nil {
+		t.Fatalf("truth JSON: %v", err)
+	}
+	if len(gt.Popular) != 1 {
+		t.Fatalf("truth popular = %v", gt.Popular)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-sensors", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	err := run([]string{"-no-such-flag"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "flag") {
+		t.Fatalf("bad flag error = %v", err)
+	}
+}

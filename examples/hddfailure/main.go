@@ -1,0 +1,72 @@
+// Hddfailure reproduces case study II: continuous SMART telemetry is
+// discretised into event sequences, a relationship graph is learned over the
+// features, per-drive anomaly-score trajectories flag upcoming disk
+// failures, and the graph's in-degree ranking is compared with a Random
+// Forest's feature importances.
+//
+// Run with:
+//
+//	go run ./examples/hddfailure
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	"mdes/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("simulating SMART fleet and training the feature relationship graph...")
+	hdd, err := experiments.BuildHDD(context.Background(), experiments.QuickScale())
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\ndiscretisation schemes (Fig 10):")
+	for _, f := range hdd.HS.Features {
+		fmt.Printf("  %-10s -> %s\n", f, hdd.Schemes[f].Name())
+	}
+
+	fmt.Println("\nmost important features by relationship-graph in-degree (Table III):")
+	for i, f := range hdd.TopGraphFeatures(hdd.ValidRange()) {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. %-10s %s\n", i+1, f, experiments.SMARTDescriptions[f])
+	}
+
+	fmt.Println("\nmodel comparison (Table II):")
+	for _, b := range hdd.Baselines {
+		fmt.Printf("  %-8s recall %3.0f%%  (unsupervised=%v, feature engineering=%v)\n",
+			b.Name, 100*b.Recall, b.Unsupervised, b.FeatureEngineering)
+	}
+
+	fmt.Println("\nper-drive anomaly trajectories before failure (Fig 12):")
+	shown := 0
+	for _, o := range hdd.Outcomes {
+		if !o.Failed || shown >= 4 {
+			continue
+		}
+		shown++
+		status := "MISSED"
+		if o.Detected {
+			status = fmt.Sprintf("DETECTED (jump at t=%d)", o.JumpAt)
+		}
+		fmt.Printf("  %s %s\n", o.ID, status)
+		for t, s := range o.Scores {
+			fmt.Printf("    t=%d a_t=%.2f |%s\n", t, s, strings.Repeat("#", int(s*30)))
+		}
+	}
+	fmt.Printf("\nfailure-prediction recall: %.0f%% of failed drives showed a sharp score increase\n",
+		100*hdd.RecallOurs)
+	return nil
+}

@@ -1,0 +1,128 @@
+package mdes
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"mdes/internal/seqio"
+)
+
+// Failure-injection tests: the framework must degrade loudly and sanely when
+// the online data violates training-time assumptions.
+
+// TestDetectUnknownEventsRaiseScores feeds test data full of event values
+// never seen in training: every sentence encodes to <unk>, which must read as
+// a maximal anomaly, not a perfect translation.
+func TestDetectUnknownEventsRaiseScores(t *testing.T) {
+	model := trainTiny(t)
+	rng := rand.New(rand.NewSource(21))
+
+	normal := coupledDataset(rng, 200)
+	normalPoints, err := model.Detect(context.Background(), normal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupted := coupledDataset(rng, 200)
+	for i := range corrupted.Sequences {
+		for t2 := range corrupted.Sequences[i].Events {
+			corrupted.Sequences[i].Events[t2] = "NEVER_SEEN_STATE"
+		}
+	}
+	badPoints, err := model.Detect(context.Background(), corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if mean(badPoints) <= mean(normalPoints) {
+		t.Fatalf("unknown-event score %.3f <= normal score %.3f",
+			mean(badPoints), mean(normalPoints))
+	}
+	// With every relationship broken the score should saturate at 1.
+	if mean(badPoints) < 0.99 {
+		t.Fatalf("all-unknown data should break everything, got %.3f", mean(badPoints))
+	}
+}
+
+// TestDetectTruncatedWindow verifies a test split shorter than one sentence
+// errors cleanly instead of returning empty results.
+func TestDetectTruncatedWindow(t *testing.T) {
+	model := trainTiny(t)
+	rng := rand.New(rand.NewSource(22))
+	tiny := coupledDataset(rng, 5) // shorter than one word
+	if _, err := model.Detect(context.Background(), tiny); err == nil {
+		t.Fatal("sub-sentence test window must error")
+	}
+}
+
+// TestDetectExtraSensorsIgnored confirms sensors unknown to the model are
+// simply not consulted (the paper drops filtered sensors from online testing
+// too).
+func TestDetectExtraSensorsIgnored(t *testing.T) {
+	model := trainTiny(t)
+	rng := rand.New(rand.NewSource(23))
+	ds := coupledDataset(rng, 200)
+	extra := make([]string, 200)
+	for i := range extra {
+		extra[i] = "X"
+	}
+	ds.Sequences = append(ds.Sequences, seqio.Sequence{Sensor: "uninvited", Events: extra})
+	points, err := model.Detect(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		for _, a := range p.Broken {
+			if a.Src == "uninvited" || a.Tgt == "uninvited" {
+				t.Fatal("unknown sensor leaked into alerts")
+			}
+		}
+	}
+}
+
+// TestDetectSingleBrokenSensorLocalises checks that corrupting exactly one
+// sensor only breaks relationships incident to it.
+func TestDetectSingleBrokenSensorLocalises(t *testing.T) {
+	model := trainTiny(t)
+	rng := rand.New(rand.NewSource(24))
+	ds := coupledDataset(rng, 300)
+	for t2 := range ds.Sequences[1].Events { // sensor "b"
+		if rng.Float64() < 0.5 {
+			ds.Sequences[1].Events[t2] = "ON"
+		} else {
+			ds.Sequences[1].Events[t2] = "OFF"
+		}
+	}
+	points, err := model.Detect(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var incident, other int
+	for _, p := range points {
+		for _, a := range p.Broken {
+			if a.Src == "b" || a.Tgt == "b" {
+				incident++
+			} else {
+				other++
+			}
+		}
+	}
+	if incident == 0 {
+		t.Fatal("no alerts incident to the corrupted sensor")
+	}
+	if other > incident {
+		t.Fatalf("more non-incident (%d) than incident (%d) alerts", other, incident)
+	}
+}
+
+func mean(points []Point) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range points {
+		s += p.Score
+	}
+	return s / float64(len(points))
+}

@@ -1,0 +1,3 @@
+module mdes
+
+go 1.22

@@ -1,0 +1,218 @@
+// Package anomaly implements the paper's Algorithm 2 and the downstream
+// analyses built on it: per-timestamp anomaly scores a_t (the fraction of
+// valid pairwise relationships that are broken), the sensor-pair alert
+// status W_t, fault diagnosis over local subgraphs (Fig 9), and the
+// sharp-increase detector used for disk failures (Fig 12).
+//
+// The package is deliberately model-free: it consumes the training scores
+// s(i,j) from the relationship graph and caller-supplied test scores
+// f(i,j) per timestamp, so the algorithm can be tested independently of the
+// NMT substrate.
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+
+	"mdes/internal/graph"
+)
+
+// Relationship is one valid directional model with its training BLEU s(i,j).
+type Relationship struct {
+	Src, Tgt   string
+	TrainScore float64
+}
+
+// Detector holds the valid relationships selected from a relationship graph.
+type Detector struct {
+	rels []Relationship
+}
+
+// NewDetector selects as valid every edge of g whose training score falls in
+// the valid range (the paper finds [80,90) best; §II-C "the validity of NMT
+// model g(i,j) is determined by the range of BLEU score set by the user").
+func NewDetector(g *graph.Graph, valid graph.Range) *Detector {
+	d := &Detector{}
+	for _, e := range g.Edges() {
+		if valid.Contains(e.Score) {
+			d.rels = append(d.rels, Relationship{Src: e.Src, Tgt: e.Tgt, TrainScore: e.Score})
+		}
+	}
+	return d
+}
+
+// NewDetectorFromRelationships builds a detector from an explicit list.
+func NewDetectorFromRelationships(rels []Relationship) *Detector {
+	return &Detector{rels: append([]Relationship(nil), rels...)}
+}
+
+// Relationships returns the valid relationships in evaluation order; test
+// score matrices must use the same order.
+func (d *Detector) Relationships() []Relationship {
+	return append([]Relationship(nil), d.rels...)
+}
+
+// NumValid returns p_t, the number of valid models.
+func (d *Detector) NumValid() int { return len(d.rels) }
+
+// Alert is one broken relationship at a timestamp: f(i,j) < s(i,j).
+type Alert struct {
+	Src, Tgt   string
+	TrainScore float64 // s(i,j)
+	TestScore  float64 // f(i,j)
+}
+
+// Point is the detection output for one timestamp t.
+type Point struct {
+	T      int
+	Score  float64 // a_t = broken / valid
+	Valid  int     // p_t
+	Broken []Alert // W_t, the alert status
+}
+
+// Evaluate runs Algorithm 2 over test scores indexed [t][k], where k follows
+// Relationships() order. It returns one Point per timestamp.
+func (d *Detector) Evaluate(testScores [][]float64) ([]Point, error) {
+	out := make([]Point, 0, len(testScores))
+	for t, row := range testScores {
+		if len(row) != len(d.rels) {
+			return nil, fmt.Errorf("anomaly: timestamp %d has %d scores, want %d", t, len(row), len(d.rels))
+		}
+		p := Point{T: t, Valid: len(d.rels)}
+		for k, f := range row {
+			if f < d.rels[k].TrainScore {
+				p.Broken = append(p.Broken, Alert{
+					Src: d.rels[k].Src, Tgt: d.rels[k].Tgt,
+					TrainScore: d.rels[k].TrainScore, TestScore: f,
+				})
+			}
+		}
+		if p.Valid > 0 {
+			p.Score = float64(len(p.Broken)) / float64(p.Valid)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Scores extracts the a_t series from detection points.
+func Scores(points []Point) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = p.Score
+	}
+	return out
+}
+
+// Threshold flags the timestamps whose anomaly score is >= threshold.
+func Threshold(points []Point, threshold float64) []int {
+	var out []int
+	for _, p := range points {
+		if p.Score >= threshold {
+			out = append(out, p.T)
+		}
+	}
+	return out
+}
+
+// SharpIncrease reports the first timestamp whose anomaly score jumps by at
+// least `jump` over the previous timestamp — the paper's disk-failure
+// criterion ("a sharp increase (over 0.5 increment) right before the failure
+// date", §IV-D2). It returns the index of the elevated point.
+func SharpIncrease(scores []float64, jump float64) (int, bool) {
+	for t := 1; t < len(scores); t++ {
+		if scores[t]-scores[t-1] >= jump {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// ClusterReport describes how strongly one community is implicated in an
+// anomaly.
+type ClusterReport struct {
+	Members        []string
+	BrokenEdges    int
+	TotalEdges     int
+	BrokenFraction float64
+}
+
+// Diagnosis is the fault-diagnosis output for one detected anomaly:
+// communities of the local subgraph ranked by their share of broken
+// relationships (paper Fig 9: "green circles indicate faulty clusters of
+// sensors that are responsible for the anomalies").
+type Diagnosis struct {
+	Clusters []ClusterReport
+	// Faulty lists the clusters whose broken fraction is >= 0.5, the ones
+	// an operator would inspect first.
+	Faulty []ClusterReport
+}
+
+// Diagnose attributes the broken relationships of one timestamp to the
+// communities of a local subgraph. Edges whose endpoints span two
+// communities count toward both (such bridge edges are "potentially
+// responsible for error propagation", §II-B).
+func Diagnose(local *graph.Graph, communities [][]string, broken []Alert) Diagnosis {
+	commOf := make(map[string]int)
+	for c, members := range communities {
+		for _, m := range members {
+			commOf[m] = c
+		}
+	}
+	brokenSet := make(map[[2]string]struct{}, len(broken))
+	for _, a := range broken {
+		brokenSet[[2]string{a.Src, a.Tgt}] = struct{}{}
+	}
+	total := make([]int, len(communities))
+	bad := make([]int, len(communities))
+	seen := make(map[int]map[[2]string]struct{}, len(communities))
+	mark := func(c int, e [2]string, isBroken bool) {
+		if seen[c] == nil {
+			seen[c] = make(map[[2]string]struct{})
+		}
+		if _, dup := seen[c][e]; dup {
+			return
+		}
+		seen[c][e] = struct{}{}
+		total[c]++
+		if isBroken {
+			bad[c]++
+		}
+	}
+	for _, e := range local.Edges() {
+		key := [2]string{e.Src, e.Tgt}
+		_, isBroken := brokenSet[key]
+		cs, okS := commOf[e.Src]
+		ct, okT := commOf[e.Tgt]
+		if okS {
+			mark(cs, key, isBroken)
+		}
+		if okT && (!okS || ct != cs) {
+			mark(ct, key, isBroken)
+		}
+	}
+	var diag Diagnosis
+	for c, members := range communities {
+		rep := ClusterReport{
+			Members:     append([]string(nil), members...),
+			BrokenEdges: bad[c],
+			TotalEdges:  total[c],
+		}
+		if total[c] > 0 {
+			rep.BrokenFraction = float64(bad[c]) / float64(total[c])
+		}
+		diag.Clusters = append(diag.Clusters, rep)
+	}
+	sort.Slice(diag.Clusters, func(i, j int) bool {
+		if diag.Clusters[i].BrokenFraction != diag.Clusters[j].BrokenFraction {
+			return diag.Clusters[i].BrokenFraction > diag.Clusters[j].BrokenFraction
+		}
+		return len(diag.Clusters[i].Members) > len(diag.Clusters[j].Members)
+	})
+	for _, c := range diag.Clusters {
+		if c.BrokenFraction >= 0.5 && c.TotalEdges > 0 {
+			diag.Faulty = append(diag.Faulty, c)
+		}
+	}
+	return diag
+}

@@ -1,0 +1,206 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mdes/internal/graph"
+)
+
+func sampleGraph() *graph.Graph {
+	g := graph.New()
+	g.AddEdge("a", "b", 85)
+	g.AddEdge("b", "a", 82)
+	g.AddEdge("a", "c", 95) // outside [80,90): not a valid model
+	g.AddEdge("c", "b", 88)
+	return g
+}
+
+func TestNewDetectorSelectsValidRange(t *testing.T) {
+	d := NewDetector(sampleGraph(), graph.Range{Lo: 80, Hi: 90})
+	if d.NumValid() != 3 {
+		t.Fatalf("valid models = %d, want 3", d.NumValid())
+	}
+	for _, r := range d.Relationships() {
+		if r.TrainScore < 80 || r.TrainScore >= 90 {
+			t.Fatalf("invalid model selected: %+v", r)
+		}
+	}
+}
+
+func TestEvaluateAlgorithm2(t *testing.T) {
+	d := NewDetector(sampleGraph(), graph.Range{Lo: 80, Hi: 90})
+	// Relationship order is deterministic: a->b(85), b->a(82), c->b(88).
+	tests := [][]float64{
+		{90, 85, 95}, // nothing broken
+		{80, 85, 95}, // one broken: f(a,b)=80 < 85
+		{10, 10, 10}, // all broken
+	}
+	points, err := d.Evaluate(tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScores := []float64{0, 1.0 / 3.0, 1}
+	for i, p := range points {
+		if math.Abs(p.Score-wantScores[i]) > 1e-12 {
+			t.Fatalf("a_%d = %v, want %v", i, p.Score, wantScores[i])
+		}
+		if p.T != i || p.Valid != 3 {
+			t.Fatalf("point %d = %+v", i, p)
+		}
+	}
+	if len(points[1].Broken) != 1 || points[1].Broken[0].Src != "a" {
+		t.Fatalf("W_1 = %+v", points[1].Broken)
+	}
+	if points[1].Broken[0].TestScore != 80 || points[1].Broken[0].TrainScore != 85 {
+		t.Fatalf("alert scores = %+v", points[1].Broken[0])
+	}
+}
+
+func TestEvaluateEqualScoreNotBroken(t *testing.T) {
+	// f(i,j) == s(i,j) is not "smaller than", so not broken (Algorithm 2).
+	d := NewDetectorFromRelationships([]Relationship{{Src: "a", Tgt: "b", TrainScore: 85}})
+	points, err := d.Evaluate([][]float64{{85}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Score != 0 {
+		t.Fatalf("equal score marked broken: %+v", points[0])
+	}
+}
+
+func TestEvaluateShapeMismatch(t *testing.T) {
+	d := NewDetector(sampleGraph(), graph.Range{Lo: 80, Hi: 90})
+	if _, err := d.Evaluate([][]float64{{1, 2}}); err == nil {
+		t.Fatal("mismatched row length must error")
+	}
+}
+
+func TestEvaluateNoValidModels(t *testing.T) {
+	d := NewDetector(graph.New(), graph.Range{Lo: 80, Hi: 90})
+	points, err := d.Evaluate([][]float64{{}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Score != 0 || p.Valid != 0 {
+			t.Fatalf("no-model point = %+v", p)
+		}
+	}
+}
+
+func TestScoresAndThreshold(t *testing.T) {
+	points := []Point{{T: 0, Score: 0.1}, {T: 1, Score: 0.8}, {T: 2, Score: 0.5}}
+	s := Scores(points)
+	if len(s) != 3 || s[1] != 0.8 {
+		t.Fatalf("Scores = %v", s)
+	}
+	hits := Threshold(points, 0.5)
+	if len(hits) != 2 || hits[0] != 1 || hits[1] != 2 {
+		t.Fatalf("Threshold = %v", hits)
+	}
+	if got := Threshold(points, 2); got != nil {
+		t.Fatalf("impossible threshold hits = %v", got)
+	}
+}
+
+func TestSharpIncrease(t *testing.T) {
+	cases := []struct {
+		scores []float64
+		jump   float64
+		wantT  int
+		wantOK bool
+	}{
+		{[]float64{0.1, 0.1, 0.7, 0.8}, 0.5, 2, true},
+		{[]float64{0.1, 0.2, 0.3}, 0.5, 0, false},
+		{[]float64{0.9, 0.9, 0.9}, 0.5, 0, false}, // high but flat
+		{[]float64{0.0, 0.5}, 0.5, 1, true},
+		{nil, 0.5, 0, false},
+		{[]float64{0.3}, 0.5, 0, false},
+	}
+	for i, tc := range cases {
+		gotT, ok := SharpIncrease(tc.scores, tc.jump)
+		if ok != tc.wantOK || gotT != tc.wantT {
+			t.Errorf("case %d: SharpIncrease = (%d, %v), want (%d, %v)", i, gotT, ok, tc.wantT, tc.wantOK)
+		}
+	}
+}
+
+func TestDiagnose(t *testing.T) {
+	local := graph.New()
+	// Cluster 0: p, q, r fully broken. Cluster 1: x, y healthy.
+	local.AddEdge("p", "q", 85)
+	local.AddEdge("q", "r", 85)
+	local.AddEdge("x", "y", 85)
+	comms := [][]string{{"p", "q", "r"}, {"x", "y"}}
+	broken := []Alert{
+		{Src: "p", Tgt: "q", TrainScore: 85, TestScore: 20},
+		{Src: "q", Tgt: "r", TrainScore: 85, TestScore: 30},
+	}
+	diag := Diagnose(local, comms, broken)
+	if len(diag.Clusters) != 2 {
+		t.Fatalf("clusters = %+v", diag.Clusters)
+	}
+	top := diag.Clusters[0]
+	if top.BrokenFraction != 1 || top.BrokenEdges != 2 || top.TotalEdges != 2 {
+		t.Fatalf("top cluster = %+v", top)
+	}
+	if diag.Clusters[1].BrokenFraction != 0 {
+		t.Fatalf("healthy cluster = %+v", diag.Clusters[1])
+	}
+	if len(diag.Faulty) != 1 || diag.Faulty[0].Members[0] != "p" {
+		t.Fatalf("Faulty = %+v", diag.Faulty)
+	}
+}
+
+func TestDiagnoseBridgeEdgeCountsBothClusters(t *testing.T) {
+	local := graph.New()
+	local.AddEdge("p", "x", 85) // bridge between the two clusters
+	comms := [][]string{{"p"}, {"x"}}
+	diag := Diagnose(local, comms, []Alert{{Src: "p", Tgt: "x"}})
+	for _, c := range diag.Clusters {
+		if c.TotalEdges != 1 || c.BrokenEdges != 1 {
+			t.Fatalf("bridge accounting = %+v", c)
+		}
+	}
+}
+
+func TestDiagnoseEmpty(t *testing.T) {
+	diag := Diagnose(graph.New(), nil, nil)
+	if len(diag.Clusters) != 0 || len(diag.Faulty) != 0 {
+		t.Fatalf("empty diagnosis = %+v", diag)
+	}
+}
+
+// Property: a_t is always in [0,1] and equals broken/valid exactly.
+func TestAnomalyScoreBoundsQuick(t *testing.T) {
+	rels := []Relationship{
+		{Src: "a", Tgt: "b", TrainScore: 85},
+		{Src: "b", Tgt: "c", TrainScore: 82},
+		{Src: "c", Tgt: "a", TrainScore: 88},
+	}
+	d := NewDetectorFromRelationships(rels)
+	f := func(f1, f2, f3 float64) bool {
+		row := []float64{mod100(f1), mod100(f2), mod100(f3)}
+		points, err := d.Evaluate([][]float64{row})
+		if err != nil {
+			return false
+		}
+		p := points[0]
+		if p.Score < 0 || p.Score > 1 {
+			return false
+		}
+		return p.Score == float64(len(p.Broken))/3.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mod100(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Abs(math.Mod(v, 100))
+}

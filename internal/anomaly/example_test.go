@@ -1,0 +1,36 @@
+package anomaly_test
+
+import (
+	"fmt"
+
+	"mdes/internal/anomaly"
+)
+
+func ExampleDetector_Evaluate() {
+	// Two valid relationships with their training BLEU scores s(i,j).
+	det := anomaly.NewDetectorFromRelationships([]anomaly.Relationship{
+		{Src: "pump", Tgt: "valve", TrainScore: 85},
+		{Src: "valve", Tgt: "pump", TrainScore: 88},
+	})
+	// Test-time scores f(i,j) per timestamp: healthy, then broken.
+	points, _ := det.Evaluate([][]float64{
+		{95, 92}, // both fine
+		{40, 91}, // pump->valve broken
+		{30, 20}, // both broken
+	})
+	for _, p := range points {
+		fmt.Printf("t=%d a_t=%.2f broken=%d\n", p.T, p.Score, len(p.Broken))
+	}
+	// Output:
+	// t=0 a_t=0.00 broken=0
+	// t=1 a_t=0.50 broken=1
+	// t=2 a_t=1.00 broken=2
+}
+
+func ExampleSharpIncrease() {
+	scores := []float64{0.1, 0.12, 0.1, 0.75, 0.8}
+	t, ok := anomaly.SharpIncrease(scores, 0.5)
+	fmt.Println(t, ok)
+	// Output:
+	// 3 true
+}

@@ -1,0 +1,87 @@
+package anomaly
+
+import "sort"
+
+// PropagationStep summarises one time window of a fault-propagation trace:
+// which sensors participated in broken relationships and how hard the system
+// was failing during the window.
+type PropagationStep struct {
+	FromT, ToT int // [FromT, ToT) in detection-point timestamps
+	// MeanScore is the mean anomaly score a_t over the window.
+	MeanScore float64
+	// PeakScore is the maximum a_t in the window.
+	PeakScore float64
+	// SensorHits counts, per sensor, how many broken relationships in the
+	// window were incident to it.
+	SensorHits map[string]int
+	// Implicated lists the sensors ordered by descending hit count (ties
+	// by name) — the propagation front at this window.
+	Implicated []string
+}
+
+// Propagation slices a detection-point series into fixed-size windows and
+// reports, per window, the sensors implicated in broken relationships — the
+// paper's finer-granularity fault-propagation view (§III-C: "describe
+// similar figures for each anomaly at finer granularities, e.g., every hour,
+// to visually present how faults propagate through sensors over time").
+// window <= 0 defaults to 1 (one step per window).
+func Propagation(points []Point, window int) []PropagationStep {
+	if window <= 0 {
+		window = 1
+	}
+	var out []PropagationStep
+	for start := 0; start < len(points); start += window {
+		end := start + window
+		if end > len(points) {
+			end = len(points)
+		}
+		step := PropagationStep{
+			FromT:      points[start].T,
+			ToT:        points[end-1].T + 1,
+			SensorHits: make(map[string]int),
+		}
+		var sum float64
+		for _, p := range points[start:end] {
+			sum += p.Score
+			if p.Score > step.PeakScore {
+				step.PeakScore = p.Score
+			}
+			for _, a := range p.Broken {
+				step.SensorHits[a.Src]++
+				step.SensorHits[a.Tgt]++
+			}
+		}
+		step.MeanScore = sum / float64(end-start)
+		step.Implicated = make([]string, 0, len(step.SensorHits))
+		for s := range step.SensorHits {
+			step.Implicated = append(step.Implicated, s)
+		}
+		sort.Slice(step.Implicated, func(i, j int) bool {
+			a, b := step.Implicated[i], step.Implicated[j]
+			if step.SensorHits[a] != step.SensorHits[b] {
+				return step.SensorHits[a] > step.SensorHits[b]
+			}
+			return a < b
+		})
+		out = append(out, step)
+	}
+	return out
+}
+
+// NewlyImplicated compares consecutive propagation steps and returns, per
+// step, the sensors that became implicated for the first time — the fault
+// front's expansion over time.
+func NewlyImplicated(trace []PropagationStep) [][]string {
+	seen := make(map[string]struct{})
+	out := make([][]string, len(trace))
+	for i, step := range trace {
+		for _, s := range step.Implicated {
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				out[i] = append(out[i], s)
+			}
+		}
+		sort.Strings(out[i])
+	}
+	return out
+}

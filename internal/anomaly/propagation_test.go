@@ -1,0 +1,81 @@
+package anomaly
+
+import (
+	"testing"
+)
+
+func tracePoints() []Point {
+	mk := func(t int, score float64, pairs ...[2]string) Point {
+		p := Point{T: t, Score: score, Valid: 4}
+		for _, pr := range pairs {
+			p.Broken = append(p.Broken, Alert{Src: pr[0], Tgt: pr[1]})
+		}
+		return p
+	}
+	return []Point{
+		mk(0, 0.0),
+		mk(1, 0.25, [2]string{"a", "b"}),
+		mk(2, 0.5, [2]string{"a", "b"}, [2]string{"b", "c"}),
+		mk(3, 0.75, [2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"c", "d"}),
+	}
+}
+
+func TestPropagationWindows(t *testing.T) {
+	trace := Propagation(tracePoints(), 2)
+	if len(trace) != 2 {
+		t.Fatalf("windows = %d, want 2", len(trace))
+	}
+	w0, w1 := trace[0], trace[1]
+	if w0.FromT != 0 || w0.ToT != 2 || w1.FromT != 2 || w1.ToT != 4 {
+		t.Fatalf("window bounds: %+v %+v", w0, w1)
+	}
+	if w0.MeanScore != 0.125 || w0.PeakScore != 0.25 {
+		t.Fatalf("w0 scores = %v/%v", w0.MeanScore, w0.PeakScore)
+	}
+	// Window 0 implicates only a and b.
+	if len(w0.Implicated) != 2 || w0.Implicated[0] != "a" || w0.Implicated[1] != "b" {
+		t.Fatalf("w0 implicated = %v", w0.Implicated)
+	}
+	// Window 1: b participates in the most breaks (a->b twice + b->c twice).
+	if w1.Implicated[0] != "b" {
+		t.Fatalf("w1 front = %v", w1.Implicated)
+	}
+	if w1.SensorHits["b"] != 4 || w1.SensorHits["d"] != 1 {
+		t.Fatalf("w1 hits = %v", w1.SensorHits)
+	}
+}
+
+func TestPropagationDefaultsAndEmpty(t *testing.T) {
+	if got := Propagation(nil, 2); got != nil {
+		t.Fatalf("empty points trace = %v", got)
+	}
+	trace := Propagation(tracePoints(), 0) // window 0 -> 1 point per window
+	if len(trace) != 4 {
+		t.Fatalf("per-point windows = %d", len(trace))
+	}
+	// Uneven final window.
+	trace = Propagation(tracePoints(), 3)
+	if len(trace) != 2 || trace[1].FromT != 3 {
+		t.Fatalf("uneven windows = %+v", trace)
+	}
+}
+
+func TestNewlyImplicated(t *testing.T) {
+	trace := Propagation(tracePoints(), 1)
+	fresh := NewlyImplicated(trace)
+	if len(fresh) != 4 {
+		t.Fatalf("fresh length = %d", len(fresh))
+	}
+	if len(fresh[0]) != 0 {
+		t.Fatalf("window 0 should implicate nobody: %v", fresh[0])
+	}
+	if len(fresh[1]) != 2 { // a, b appear
+		t.Fatalf("window 1 fresh = %v", fresh[1])
+	}
+	if len(fresh[2]) != 1 || fresh[2][0] != "c" {
+		t.Fatalf("window 2 fresh = %v", fresh[2])
+	}
+	if len(fresh[3]) != 1 || fresh[3][0] != "d" {
+		t.Fatalf("window 3 fresh = %v", fresh[3])
+	}
+}

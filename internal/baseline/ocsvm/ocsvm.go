@@ -1,0 +1,273 @@
+// Package ocsvm implements a one-class support vector machine with an RBF
+// kernel (Schölkopf et al.), trained with an SMO-style pairwise solver on
+// the standard ν-parameterised dual — the unsupervised baseline of the
+// paper's Table II. Features are z-score standardised internally, matching
+// the preprocessing the RBF kernel requires.
+package ocsvm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Config controls training.
+type Config struct {
+	// Nu bounds the fraction of training outliers (0 < Nu <= 1).
+	Nu float64
+	// Gamma is the RBF width; 0 selects the "scale" heuristic
+	// 1/(d·var(X)).
+	Gamma float64
+	// MaxIter caps SMO iterations.
+	MaxIter int
+	// Tol is the KKT violation tolerance.
+	Tol float64
+}
+
+// Default mirrors the common library defaults (ν = 0.5 is the scikit-learn
+// default; Table II uses the RBF kernel).
+func Default() Config {
+	return Config{Nu: 0.5, Gamma: 0, MaxIter: 20000, Tol: 1e-4}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nu <= 0 || c.Nu > 1:
+		return fmt.Errorf("ocsvm: nu %v outside (0,1]", c.Nu)
+	case c.Gamma < 0:
+		return fmt.Errorf("ocsvm: gamma %v negative", c.Gamma)
+	case c.MaxIter <= 0:
+		return fmt.Errorf("ocsvm: max iterations %d must be positive", c.MaxIter)
+	case c.Tol <= 0:
+		return fmt.Errorf("ocsvm: tolerance %v must be positive", c.Tol)
+	}
+	return nil
+}
+
+// Model is a trained one-class SVM.
+type Model struct {
+	support [][]float64 // standardised support vectors
+	alpha   []float64
+	rho     float64
+	gamma   float64
+	mean    []float64
+	scale   []float64
+}
+
+// ErrNoData is returned for an empty training set.
+var ErrNoData = errors.New("ocsvm: empty training set")
+
+// Train fits the model on inlier-only training rows.
+func Train(x [][]float64, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(x)
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	d := len(x[0])
+
+	m := &Model{mean: make([]float64, d), scale: make([]float64, d)}
+	m.fitScaler(x)
+	z := make([][]float64, n)
+	for i, row := range x {
+		z[i] = m.transform(row)
+	}
+
+	m.gamma = cfg.Gamma
+	if m.gamma == 0 {
+		// "scale": 1/(d · mean feature variance); after z-scoring the mean
+		// variance is ~1, so this reduces to 1/d, but compute it anyway to
+		// stay correct for constant features.
+		var v float64
+		for j := 0; j < d; j++ {
+			v += variance(z, j)
+		}
+		v /= float64(d)
+		if v <= 0 {
+			v = 1
+		}
+		m.gamma = 1 / (float64(d) * v)
+	}
+
+	// Dual: min ½ αᵀKα  s.t. 0 ≤ α_i ≤ 1/(νn), Σα = 1.
+	c := 1 / (cfg.Nu * float64(n))
+	alpha := make([]float64, n)
+	// Feasible start: spread mass over the first ⌈νn⌉ points.
+	k := int(math.Ceil(cfg.Nu * float64(n)))
+	for i := 0; i < k; i++ {
+		alpha[i] = math.Min(c, 1-float64(i)*c)
+		if alpha[i] < 0 {
+			alpha[i] = 0
+		}
+	}
+	// Normalise any rounding drift.
+	var sum float64
+	for _, a := range alpha {
+		sum += a
+	}
+	if sum > 0 {
+		for i := range alpha {
+			alpha[i] /= sum
+		}
+	}
+
+	// Precompute the kernel matrix (training sets are subsampled upstream,
+	// as in the paper, so n stays modest).
+	km := make([][]float64, n)
+	for i := range km {
+		km[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := rbf(z[i], z[j], m.gamma)
+			km[i][j] = v
+			km[j][i] = v
+		}
+	}
+	// Gradient g = Kα.
+	g := make([]float64, n)
+	for i := range g {
+		var s float64
+		for j, a := range alpha {
+			if a > 0 {
+				s += km[i][j] * a
+			}
+		}
+		g[i] = s
+	}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		// Most violating pair: mass should flow from high-gradient points
+		// with α>0 to low-gradient points with α<C.
+		up, down := -1, -1
+		for i := 0; i < n; i++ {
+			if alpha[i] > 0 && (up < 0 || g[i] > g[up]) {
+				up = i
+			}
+			if alpha[i] < c && (down < 0 || g[i] < g[down]) {
+				down = i
+			}
+		}
+		if up < 0 || down < 0 || g[up]-g[down] < cfg.Tol {
+			break
+		}
+		denom := km[up][up] + km[down][down] - 2*km[up][down]
+		if denom <= 1e-12 {
+			denom = 1e-12
+		}
+		delta := (g[up] - g[down]) / denom
+		limit := math.Min(alpha[up], c-alpha[down])
+		if delta > limit {
+			delta = limit
+		}
+		if delta <= 0 {
+			break
+		}
+		alpha[up] -= delta
+		alpha[down] += delta
+		for i := 0; i < n; i++ {
+			g[i] += delta * (km[i][down] - km[i][up])
+		}
+	}
+
+	// ρ = decision value at margin support vectors (0 < α < C); fall back
+	// to the α-weighted mean otherwise.
+	var rho, cnt float64
+	for i, a := range alpha {
+		if a > 1e-9 && a < c-1e-9 {
+			rho += g[i]
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		rho /= cnt
+	} else {
+		for i, a := range alpha {
+			rho += a * g[i]
+		}
+	}
+	m.rho = rho
+
+	for i, a := range alpha {
+		if a > 1e-9 {
+			m.support = append(m.support, z[i])
+			m.alpha = append(m.alpha, a)
+		}
+	}
+	return m, nil
+}
+
+// Decision returns the decision value f(x) = Σ α_i K(x_i, x) − ρ; negative
+// values are anomalies.
+func (m *Model) Decision(x []float64) float64 {
+	z := m.transform(x)
+	var s float64
+	for i, sv := range m.support {
+		s += m.alpha[i] * rbf(sv, z, m.gamma)
+	}
+	return s - m.rho
+}
+
+// Predict reports whether x is an inlier.
+func (m *Model) Predict(x []float64) bool { return m.Decision(x) >= 0 }
+
+// NumSupport returns the number of support vectors.
+func (m *Model) NumSupport() int { return len(m.support) }
+
+func (m *Model) fitScaler(x [][]float64) {
+	n := float64(len(x))
+	d := len(m.mean)
+	for j := 0; j < d; j++ {
+		var s float64
+		for _, row := range x {
+			s += row[j]
+		}
+		m.mean[j] = s / n
+		var v float64
+		for _, row := range x {
+			dlt := row[j] - m.mean[j]
+			v += dlt * dlt
+		}
+		sd := math.Sqrt(v / n)
+		if sd < 1e-12 {
+			sd = 1
+		}
+		m.scale[j] = sd
+	}
+}
+
+func (m *Model) transform(x []float64) []float64 {
+	z := make([]float64, len(m.mean))
+	for j := range z {
+		v := 0.0
+		if j < len(x) {
+			v = x[j]
+		}
+		z[j] = (v - m.mean[j]) / m.scale[j]
+	}
+	return z
+}
+
+func rbf(a, b []float64, gamma float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Exp(-gamma * s)
+}
+
+func variance(z [][]float64, j int) float64 {
+	var mean float64
+	for _, row := range z {
+		mean += row[j]
+	}
+	mean /= float64(len(z))
+	var v float64
+	for _, row := range z {
+		d := row[j] - mean
+		v += d * d
+	}
+	return v / float64(len(z))
+}

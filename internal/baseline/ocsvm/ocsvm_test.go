@@ -1,0 +1,172 @@
+package ocsvm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blob samples points from a unit Gaussian around the origin.
+func blob(rng *rand.Rand, n, d int) [][]float64 {
+	x := make([][]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+	}
+	return x
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{Nu: 0, MaxIter: 1, Tol: 1e-3},
+		{Nu: 1.5, MaxIter: 1, Tol: 1e-3},
+		{Nu: 0.5, Gamma: -1, MaxIter: 1, Tol: 1e-3},
+		{Nu: 0.5, MaxIter: 0, Tol: 1e-3},
+		{Nu: 0.5, MaxIter: 1, Tol: 0},
+	}
+	for i, cfg := range bads {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Train(nil, Default()); err != ErrNoData {
+		t.Fatalf("empty train err = %v", err)
+	}
+}
+
+func TestDetectsFarOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := blob(rng, 150, 3)
+	cfg := Default()
+	cfg.Nu = 0.1
+	m, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Points far outside the training cloud must be anomalies.
+	outliers := 0
+	for i := 0; i < 20; i++ {
+		x := []float64{8 + rng.Float64(), 8 + rng.Float64(), -8 - rng.Float64()}
+		if !m.Predict(x) {
+			outliers++
+		}
+	}
+	if outliers < 19 {
+		t.Fatalf("detected %d/20 far outliers", outliers)
+	}
+	// Most fresh inliers should be accepted (1-ν of them asymptotically).
+	in := 0
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5}
+		if m.Predict(x) {
+			in++
+		}
+	}
+	if in < 70 {
+		t.Fatalf("accepted only %d/100 central inliers", in)
+	}
+}
+
+func TestNuBoundsTrainingOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := blob(rng, 200, 2)
+	cfg := Default()
+	cfg.Nu = 0.2
+	m, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := 0
+	for _, x := range train {
+		if !m.Predict(x) {
+			rejected++
+		}
+	}
+	frac := float64(rejected) / float64(len(train))
+	// ν upper-bounds the training outlier fraction (allow solver slack).
+	if frac > cfg.Nu+0.1 {
+		t.Fatalf("training rejection fraction %v far exceeds nu %v", frac, cfg.Nu)
+	}
+}
+
+func TestDecisionMonotoneWithDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train := blob(rng, 100, 2)
+	m, err := Train(train, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := m.Decision([]float64{0.1, 0.1})
+	mid := m.Decision([]float64{3, 3})
+	far := m.Decision([]float64{10, 10})
+	if !(near > mid && mid > far) {
+		t.Fatalf("decision not monotone: %v, %v, %v", near, mid, far)
+	}
+}
+
+func TestConstantFeatureHandled(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train := blob(rng, 60, 2)
+	for i := range train {
+		train[i] = append(train[i], 42) // constant third feature
+	}
+	m, err := Train(train, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := m.Decision([]float64{0, 0, 42})
+	if math.IsNaN(dec) || math.IsInf(dec, 0) {
+		t.Fatalf("decision = %v with constant feature", dec)
+	}
+}
+
+func TestSupportVectorsSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	train := blob(rng, 100, 2)
+	cfg := Default()
+	cfg.Nu = 0.3
+	m, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSupport() == 0 || m.NumSupport() > len(train) {
+		t.Fatalf("support vectors = %d", m.NumSupport())
+	}
+}
+
+func TestExplicitGamma(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	train := blob(rng, 80, 2)
+	cfg := Default()
+	cfg.Gamma = 0.5
+	m, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.gamma != 0.5 {
+		t.Fatalf("gamma = %v, want 0.5", m.gamma)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	train := blob(rng, 80, 2)
+	m1, err := Train(train, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(train, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{1, -1}
+	if m1.Decision(probe) != m2.Decision(probe) {
+		t.Fatal("training must be deterministic")
+	}
+}

@@ -1,0 +1,195 @@
+package bleu
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func toks(s string) []string { return strings.Fields(s) }
+
+func TestPerfectTranslationScores100(t *testing.T) {
+	ref := toks("a b c d e")
+	if got := Sentence(ref, ref, 4, SmoothNone); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("identical sentence BLEU = %v, want 100", got)
+	}
+	if got := Corpus([][]string{ref, ref}, [][]string{ref, ref}, 4); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("identical corpus BLEU = %v, want 100", got)
+	}
+}
+
+func TestCompletelyWrongScoresZero(t *testing.T) {
+	ref := toks("a b c d")
+	hyp := toks("x y z w")
+	if got := Sentence(ref, hyp, 4, SmoothNone); got != 0 {
+		t.Fatalf("disjoint BLEU = %v, want 0", got)
+	}
+	// Even with smoothing, unigram precision 0 keeps the score at 0.
+	if got := Sentence(ref, hyp, 4, SmoothAddOne); got != 0 {
+		t.Fatalf("disjoint smoothed BLEU = %v, want 0", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if got := Sentence(nil, toks("a"), 4, SmoothAddOne); got != 0 {
+		t.Fatalf("empty ref BLEU = %v", got)
+	}
+	if got := Sentence(toks("a"), nil, 4, SmoothAddOne); got != 0 {
+		t.Fatalf("empty hyp BLEU = %v", got)
+	}
+	if got := Corpus(nil, nil, 4); got != 0 {
+		t.Fatalf("empty corpus BLEU = %v", got)
+	}
+	// Pairs with an empty side are skipped, not fatal.
+	refs := [][]string{toks("a b"), nil}
+	hyps := [][]string{toks("a b"), toks("x")}
+	if got := Corpus(refs, hyps, 2); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("corpus with skipped pair = %v, want 100", got)
+	}
+}
+
+func TestBrevityPenalty(t *testing.T) {
+	ref := toks("a b c d e f g h")
+	hyp := toks("a b c d") // perfect prefix, half length
+	got := Sentence(ref, hyp, 1, SmoothNone)
+	want := 100 * math.Exp(1-2.0) // p1 = 1, BP = e^{1-8/4}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("BLEU = %v, want %v", got, want)
+	}
+	// A longer-than-reference hypothesis gets no brevity penalty but loses
+	// precision instead.
+	long := toks("a b c d e f g h x x")
+	got = Sentence(ref, long, 1, SmoothNone)
+	if math.Abs(got-80) > 1e-9 {
+		t.Fatalf("long hyp BLEU = %v, want 80", got)
+	}
+}
+
+func TestModifiedPrecisionClipping(t *testing.T) {
+	// Classic example: hypothesis repeats a reference word; clipping caps
+	// credit at the reference count.
+	ref := toks("the cat is on the mat")
+	hyp := toks("the the the the the the the")
+	got := Sentence(ref, hyp, 1, SmoothNone)
+	want := 100 * (2.0 / 7.0) // "the" appears twice in the reference
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("clipped BLEU = %v, want %v", got, want)
+	}
+}
+
+func TestKnownPapineniExample(t *testing.T) {
+	ref := toks("It is a guide to action that ensures that the military will forever heed Party commands")
+	hyp := toks("It is a guide to action which ensures that the military always obeys the commands of the party")
+	got := Sentence(ref, hyp, 4, SmoothNone)
+	if got <= 0 || got >= 100 {
+		t.Fatalf("plausible-translation BLEU = %v, want in (0,100)", got)
+	}
+	worse := toks("It is to insure the troops forever hearing the activity guidebook that party direct")
+	gotWorse := Sentence(ref, worse, 4, SmoothAddOne)
+	if gotWorse >= got {
+		t.Fatalf("worse hypothesis scored %v >= better %v", gotWorse, got)
+	}
+}
+
+func TestShortSentenceOrderExclusion(t *testing.T) {
+	// A 2-token pair has no 3- or 4-grams; those orders must be excluded
+	// rather than zeroing the score.
+	ref := toks("a b")
+	got := Sentence(ref, ref, 4, SmoothNone)
+	if math.Abs(got-100) > 1e-9 {
+		t.Fatalf("short identical BLEU = %v, want 100", got)
+	}
+}
+
+func TestSmoothingModes(t *testing.T) {
+	ref := toks("a b c d e")
+	hyp := toks("a b x d e") // some 2-gram matches, maybe no 4-grams
+	none := Sentence(ref, hyp, 4, SmoothNone)
+	addOne := Sentence(ref, hyp, 4, SmoothAddOne)
+	eps := Sentence(ref, hyp, 4, SmoothEpsilon)
+	if none != 0 {
+		t.Fatalf("unsmoothed with zero 4-gram precision = %v, want 0", none)
+	}
+	if addOne <= 0 || eps <= 0 {
+		t.Fatalf("smoothed scores must be positive: addone=%v eps=%v", addOne, eps)
+	}
+	if eps >= addOne {
+		t.Fatalf("epsilon smoothing (%v) should be harsher than add-one (%v)", eps, addOne)
+	}
+}
+
+func TestCorpusPoolsCounts(t *testing.T) {
+	// Corpus BLEU is not the mean of sentence BLEUs: counts pool first.
+	refs := [][]string{toks("a b c d"), toks("w x y z")}
+	hyps := [][]string{toks("a b c d"), toks("q q q q")}
+	corpus := Corpus(refs, hyps, 1)
+	if math.Abs(corpus-50) > 1e-9 {
+		t.Fatalf("pooled unigram corpus BLEU = %v, want 50", corpus)
+	}
+}
+
+func TestMaxNClamping(t *testing.T) {
+	ref := toks("a b c")
+	if got := Sentence(ref, ref, 0, SmoothNone); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("maxN=0 clamped BLEU = %v", got)
+	}
+	if got := Sentence(ref, ref, 99, SmoothNone); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("maxN=99 clamped BLEU = %v", got)
+	}
+}
+
+func TestIDsWrappersMatchStringBLEU(t *testing.T) {
+	refs := [][]int{{1, 2, 3, 4}, {5, 6, 7}}
+	hyps := [][]int{{1, 2, 3, 4}, {5, 6, 8}}
+	got := CorpusIDs(refs, hyps, 2)
+	want := Corpus([][]string{{"1", "2", "3", "4"}, {"5", "6", "7"}},
+		[][]string{{"1", "2", "3", "4"}, {"5", "6", "8"}}, 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CorpusIDs = %v, Corpus = %v", got, want)
+	}
+	s := SentenceIDs([]int{1, 2}, []int{1, 2}, 2, SmoothAddOne)
+	if math.Abs(s-100) > 1e-9 {
+		t.Fatalf("SentenceIDs identical = %v", s)
+	}
+}
+
+// Property: BLEU is always within [0, 100], and identity always scores 100.
+func TestBLEUBoundsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(refSeed, hypSeed uint8, refLen, hypLen uint8) bool {
+		ref := randTokens(rng, int(refLen)%12+1, int(refSeed)%5+2)
+		hyp := randTokens(rng, int(hypLen)%12+1, int(hypSeed)%5+2)
+		for _, sm := range []Smoothing{SmoothNone, SmoothAddOne, SmoothEpsilon} {
+			s := Sentence(ref, hyp, 4, sm)
+			if s < 0 || s > 100 || math.IsNaN(s) {
+				return false
+			}
+		}
+		ident := Sentence(ref, ref, 4, SmoothNone)
+		return math.Abs(ident-100) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randTokens(rng *rand.Rand, n, alphabet int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a' + rng.Intn(alphabet)))
+	}
+	return out
+}
+
+func TestNgramKeySeparatorAvoidsCollisions(t *testing.T) {
+	// Without a separator, bigrams ("ab","c") and ("a","bc") would collide.
+	a := countNgrams([]string{"ab", "c"}, 2)
+	b := countNgrams([]string{"a", "bc"}, 2)
+	for k := range a {
+		if _, ok := b[k]; ok {
+			t.Fatalf("n-gram key collision on %q", k)
+		}
+	}
+}

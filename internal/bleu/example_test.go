@@ -1,0 +1,27 @@
+package bleu_test
+
+import (
+	"fmt"
+
+	"mdes/internal/bleu"
+)
+
+func ExampleSentence() {
+	ref := []string{"the", "pump", "is", "on"}
+	hyp := []string{"the", "pump", "is", "off"}
+	score := bleu.Sentence(ref, hyp, 4, bleu.SmoothAddOne)
+	fmt.Printf("BLEU = %.1f\n", score)
+	perfect := bleu.Sentence(ref, ref, 4, bleu.SmoothNone)
+	fmt.Printf("identical = %.0f\n", perfect)
+	// Output:
+	// BLEU = 59.5
+	// identical = 100
+}
+
+func ExampleCorpus() {
+	refs := [][]string{{"a", "b", "c"}, {"d", "e", "f"}}
+	hyps := [][]string{{"a", "b", "c"}, {"d", "e", "x"}}
+	fmt.Printf("%.1f\n", bleu.Corpus(refs, hyps, 2))
+	// Output:
+	// 79.1
+}

@@ -1,0 +1,223 @@
+// Package community implements the random-walk community detection algorithm
+// of Pons & Latapy ("Computing communities in large networks using random
+// walks", 2006) — the method the paper cites ([33]) for clustering sensors of
+// the multivariate relationship graph into system components (§II-B).
+//
+// Short random walks tend to stay inside communities, so the t-step
+// transition probability profiles of two vertices in the same community are
+// similar. Walktrap agglomeratively merges adjacent communities that minimise
+// the Ward-style variance increase of those profiles, and the partition with
+// the highest modularity along the merge path is returned.
+package community
+
+import (
+	"math"
+	"sort"
+
+	"mdes/internal/graph"
+)
+
+// DefaultSteps is the conventional random-walk length t.
+const DefaultSteps = 4
+
+// Result is a detected community structure.
+type Result struct {
+	// Communities lists each community's member sensors, sorted within the
+	// community; communities are ordered largest-first.
+	Communities [][]string
+	// Modularity is the Newman modularity of the returned partition.
+	Modularity float64
+}
+
+// Partition returns the result as a node→community-index map.
+func (r Result) Partition() map[string]int {
+	out := make(map[string]int)
+	for c, members := range r.Communities {
+		for _, m := range members {
+			out[m] = c
+		}
+	}
+	return out
+}
+
+// Walktrap runs the algorithm on the undirected projection of g with
+// t = steps random-walk steps (DefaultSteps when steps <= 0). Isolated nodes
+// form their own communities. The empty graph yields an empty result.
+func Walktrap(g *graph.Graph, steps int) Result {
+	if steps <= 0 {
+		steps = DefaultSteps
+	}
+	nodes := g.Nodes()
+	n := len(nodes)
+	if n == 0 {
+		return Result{}
+	}
+	idx := make(map[string]int, n)
+	for i, name := range nodes {
+		idx[name] = i
+	}
+	und := g.Undirected()
+
+	// Row-stochastic transition matrix with unit self-loops: the self-loop
+	// regularises periodic structures and guarantees positive degree for
+	// isolated nodes (standard lazy-walk variant).
+	deg := make([]float64, n)
+	p := make([][]float64, n)
+	for i, name := range nodes {
+		row := make([]float64, n)
+		row[i] = 1 // self-loop weight
+		total := 1.0
+		for nb, w := range und[name] {
+			if w <= 0 {
+				w = 1e-9
+			}
+			row[idx[nb]] += w
+			total += w
+		}
+		for j := range row {
+			row[j] /= total
+		}
+		deg[i] = total
+		p[i] = row
+	}
+
+	// pt[i] = row i of P^t.
+	pt := make([][]float64, n)
+	for i := range pt {
+		cur := append([]float64(nil), p[i]...)
+		next := make([]float64, n)
+		for s := 1; s < steps; s++ {
+			for j := range next {
+				next[j] = 0
+			}
+			for k, v := range cur {
+				if v == 0 {
+					continue
+				}
+				row := p[k]
+				for j, pj := range row {
+					next[j] += v * pj
+				}
+			}
+			cur, next = next, cur
+		}
+		pt[i] = cur
+	}
+
+	// Agglomerative state: each community has a member set, a mean profile,
+	// and an adjacency set.
+	type comm struct {
+		members []int
+		profile []float64
+		alive   bool
+	}
+	comms := make([]*comm, n)
+	adjacent := make([]map[int]struct{}, n)
+	for i := range comms {
+		comms[i] = &comm{members: []int{i}, profile: append([]float64(nil), pt[i]...), alive: true}
+		adjacent[i] = make(map[int]struct{})
+	}
+	for i, name := range nodes {
+		for nb := range und[name] {
+			j := idx[nb]
+			if i != j {
+				adjacent[i][j] = struct{}{}
+			}
+		}
+	}
+
+	dist2 := func(a, b *comm) float64 {
+		var s float64
+		for k := 0; k < n; k++ {
+			d := a.profile[k] - b.profile[k]
+			s += d * d / deg[k]
+		}
+		return s
+	}
+	deltaSigma := func(a, b *comm) float64 {
+		na, nb := float64(len(a.members)), float64(len(b.members))
+		return (na * nb / (na + nb)) * dist2(a, b) / float64(n)
+	}
+
+	currentPartition := func() map[string]int {
+		part := make(map[string]int, n)
+		c := 0
+		for _, cm := range comms {
+			if !cm.alive {
+				continue
+			}
+			for _, m := range cm.members {
+				part[nodes[m]] = c
+			}
+			c++
+		}
+		return part
+	}
+
+	bestPart := currentPartition()
+	bestQ := g.Modularity(bestPart)
+
+	for {
+		// Find the adjacent pair with minimal ΔΣ.
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i, cm := range comms {
+			if !cm.alive {
+				continue
+			}
+			for j := range adjacent[i] {
+				if j <= i || !comms[j].alive {
+					continue
+				}
+				if ds := deltaSigma(cm, comms[j]); ds < best {
+					best, bi, bj = ds, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break // nothing left to merge (possibly multiple components)
+		}
+		a, b := comms[bi], comms[bj]
+		na, nb := float64(len(a.members)), float64(len(b.members))
+		for k := range a.profile {
+			a.profile[k] = (na*a.profile[k] + nb*b.profile[k]) / (na + nb)
+		}
+		a.members = append(a.members, b.members...)
+		b.alive = false
+		for j := range adjacent[bj] {
+			if j != bi {
+				adjacent[bi][j] = struct{}{}
+				adjacent[j][bi] = struct{}{}
+			}
+			delete(adjacent[j], bj)
+		}
+		delete(adjacent[bi], bj)
+		delete(adjacent[bi], bi)
+
+		part := currentPartition()
+		if q := g.Modularity(part); q > bestQ {
+			bestQ, bestPart = q, part
+		}
+	}
+
+	return partitionResult(bestPart, bestQ)
+}
+
+func partitionResult(part map[string]int, q float64) Result {
+	byComm := make(map[int][]string)
+	for node, c := range part {
+		byComm[c] = append(byComm[c], node)
+	}
+	out := make([][]string, 0, len(byComm))
+	for _, members := range byComm {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return Result{Communities: out, Modularity: q}
+}

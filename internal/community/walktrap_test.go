@@ -1,0 +1,151 @@
+package community
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdes/internal/graph"
+)
+
+// clique adds a fully connected set of nodes.
+func clique(g *graph.Graph, names ...string) {
+	for _, a := range names {
+		for _, b := range names {
+			if a != b {
+				g.AddEdge(a, b, 85)
+			}
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res := Walktrap(graph.New(), 0)
+	if len(res.Communities) != 0 {
+		t.Fatalf("empty graph communities = %v", res.Communities)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := graph.New()
+	g.AddNode("only")
+	res := Walktrap(g, 4)
+	if len(res.Communities) != 1 || res.Communities[0][0] != "only" {
+		t.Fatalf("single node result = %v", res.Communities)
+	}
+}
+
+func TestTwoCliquesOneBridge(t *testing.T) {
+	g := graph.New()
+	clique(g, "a1", "a2", "a3", "a4")
+	clique(g, "b1", "b2", "b3", "b4")
+	g.AddEdge("a1", "b1", 85) // bridge
+
+	res := Walktrap(g, 4)
+	if len(res.Communities) != 2 {
+		t.Fatalf("communities = %v", res.Communities)
+	}
+	part := res.Partition()
+	if part["a1"] != part["a4"] || part["b1"] != part["b3"] {
+		t.Fatalf("clique members split: %v", res.Communities)
+	}
+	if part["a1"] == part["b1"] {
+		t.Fatalf("cliques merged: %v", res.Communities)
+	}
+	if res.Modularity <= 0.2 {
+		t.Fatalf("modularity = %v, want > 0.2", res.Modularity)
+	}
+}
+
+func TestDisconnectedComponentsStaySeparate(t *testing.T) {
+	g := graph.New()
+	clique(g, "x1", "x2", "x3")
+	clique(g, "y1", "y2", "y3")
+	res := Walktrap(g, 4)
+	part := res.Partition()
+	if part["x1"] == part["y1"] {
+		t.Fatal("disconnected components must not merge")
+	}
+	if len(res.Communities) != 2 {
+		t.Fatalf("communities = %v", res.Communities)
+	}
+}
+
+func TestThreeClustersRingTopology(t *testing.T) {
+	g := graph.New()
+	clique(g, "a1", "a2", "a3", "a4", "a5")
+	clique(g, "b1", "b2", "b3", "b4", "b5")
+	clique(g, "c1", "c2", "c3", "c4", "c5")
+	g.AddEdge("a1", "b1", 85)
+	g.AddEdge("b2", "c1", 85)
+	g.AddEdge("c2", "a2", 85)
+
+	res := Walktrap(g, 4)
+	if len(res.Communities) != 3 {
+		t.Fatalf("expected 3 communities, got %d: %v", len(res.Communities), res.Communities)
+	}
+	part := res.Partition()
+	for _, grp := range [][]string{{"a1", "a5"}, {"b1", "b5"}, {"c1", "c5"}} {
+		if part[grp[0]] != part[grp[1]] {
+			t.Fatalf("cluster split: %v", res.Communities)
+		}
+	}
+}
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.New()
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for _, a := range names {
+		g.AddNode(a)
+	}
+	for i := 0; i < 12; i++ {
+		a, b := names[rng.Intn(len(names))], names[rng.Intn(len(names))]
+		if a != b {
+			g.AddEdge(a, b, 50+rng.Float64()*50)
+		}
+	}
+	res := Walktrap(g, 3)
+	part := res.Partition()
+	if len(part) != len(names) {
+		t.Fatalf("partition covers %d of %d nodes", len(part), len(names))
+	}
+	var total int
+	for _, c := range res.Communities {
+		total += len(c)
+	}
+	if total != len(names) {
+		t.Fatalf("community sizes sum to %d, want %d", total, len(names))
+	}
+}
+
+func TestDefaultStepsApplied(t *testing.T) {
+	g := graph.New()
+	clique(g, "a", "b", "c")
+	zero := Walktrap(g, 0) // uses DefaultSteps
+	expl := Walktrap(g, DefaultSteps)
+	if len(zero.Communities) != len(expl.Communities) {
+		t.Fatal("steps<=0 must behave like DefaultSteps")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	build := func() *graph.Graph {
+		g := graph.New()
+		clique(g, "a1", "a2", "a3")
+		clique(g, "b1", "b2", "b3")
+		g.AddEdge("a1", "b1", 85)
+		return g
+	}
+	r1 := Walktrap(build(), 4)
+	r2 := Walktrap(build(), 4)
+	if len(r1.Communities) != len(r2.Communities) || r1.Modularity != r2.Modularity {
+		t.Fatal("Walktrap must be deterministic")
+	}
+	for i := range r1.Communities {
+		for j := range r1.Communities[i] {
+			if r1.Communities[i][j] != r2.Communities[i][j] {
+				t.Fatal("community ordering must be deterministic")
+			}
+		}
+	}
+}

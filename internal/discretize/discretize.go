@@ -1,0 +1,153 @@
+// Package discretize converts continuous feature series into low-cardinality
+// discrete event sequences, implementing the paper's two schemes for the
+// Backblaze SMART features (§IV-C, Fig 10):
+//
+//  1. binary — for features dominated by zeros (error counts): an indicator
+//     of whether the value is zero;
+//  2. quantile — for smoothly distributed features: the 20/40/60/80th
+//     training percentiles become category boundaries (5 levels).
+//
+// It also provides the first-order differencing the paper applies to
+// cumulative counters before discretisation (§IV-B).
+package discretize
+
+import (
+	"fmt"
+	"sort"
+
+	"mdes/internal/stats"
+)
+
+// Scheme maps a continuous value to a categorical event label.
+type Scheme interface {
+	Apply(v float64) string
+	Levels() []string
+	Name() string
+}
+
+// Binary is the zero/non-zero indicator scheme.
+type Binary struct{}
+
+var _ Scheme = Binary{}
+
+// Apply returns "zero" or "nonzero".
+func (Binary) Apply(v float64) string {
+	if v == 0 {
+		return "zero"
+	}
+	return "nonzero"
+}
+
+// Levels lists the two categories.
+func (Binary) Levels() []string { return []string{"nonzero", "zero"} }
+
+// Name identifies the scheme.
+func (Binary) Name() string { return "binary" }
+
+// Quantile assigns values to the interval between fitted percentile
+// boundaries: level "q0" below the first boundary up to "qN" at the top.
+type Quantile struct {
+	Boundaries []float64
+}
+
+var _ Scheme = (*Quantile)(nil)
+
+// FitQuantile computes boundaries at the given percentiles (e.g. 20, 40, 60,
+// 80) of the training sample, dropping duplicate boundaries so levels stay
+// distinct.
+func FitQuantile(train []float64, percentiles []float64) *Quantile {
+	bounds := make([]float64, 0, len(percentiles))
+	for _, p := range percentiles {
+		bounds = append(bounds, stats.Percentile(train, p))
+	}
+	sort.Float64s(bounds)
+	dedup := bounds[:0]
+	for i, b := range bounds {
+		if i == 0 || b != dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Quantile{Boundaries: append([]float64(nil), dedup...)}
+}
+
+// PaperPercentiles are the boundaries the paper uses (§IV-C).
+func PaperPercentiles() []float64 { return []float64{20, 40, 60, 80} }
+
+// Apply returns the quantile band label of v.
+func (q *Quantile) Apply(v float64) string {
+	// SearchFloat64s returns the count of boundaries strictly below v, so
+	// values equal to a boundary belong to the lower band, consistent with
+	// P(X <= x).
+	return fmt.Sprintf("q%d", sort.SearchFloat64s(q.Boundaries, v))
+}
+
+// Levels lists the band labels low to high.
+func (q *Quantile) Levels() []string {
+	out := make([]string, len(q.Boundaries)+1)
+	for i := range out {
+		out[i] = fmt.Sprintf("q%d", i)
+	}
+	return out
+}
+
+// Name identifies the scheme.
+func (q *Quantile) Name() string { return "quantile" }
+
+// ZeroFraction returns the share of zeros in a sample.
+func ZeroFraction(sample []float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	var zeros int
+	for _, v := range sample {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(len(sample))
+}
+
+// DefaultZeroThreshold is the zero-share above which FitAuto picks the
+// binary scheme ("if most of the observations of a feature are equal to
+// zero", §IV-C).
+const DefaultZeroThreshold = 0.5
+
+// FitAuto selects and fits the scheme for a training sample following the
+// paper's rule: binary when zero-dominated, quantile otherwise.
+func FitAuto(train []float64) Scheme {
+	if ZeroFraction(train) > DefaultZeroThreshold {
+		return Binary{}
+	}
+	return FitQuantile(train, PaperPercentiles())
+}
+
+// ApplyAll discretises a whole series.
+func ApplyAll(s Scheme, series []float64) []string {
+	out := make([]string, len(series))
+	for i, v := range series {
+		out[i] = s.Apply(v)
+	}
+	return out
+}
+
+// Diff returns the first-order difference of a series, keeping the length by
+// defining the first delta as zero — the transformation the paper applies to
+// cumulative SMART counters to obtain daily deltas (§IV-B).
+func Diff(series []float64) []float64 {
+	out := make([]float64, len(series))
+	for i := 1; i < len(series); i++ {
+		out[i] = series[i] - series[i-1]
+	}
+	return out
+}
+
+// IsCumulative reports whether a series is monotonically non-decreasing —
+// the heuristic for identifying cumulative lifetime counters.
+func IsCumulative(series []float64) bool {
+	for i := 1; i < len(series); i++ {
+		if series[i] < series[i-1] {
+			return false
+		}
+	}
+	return len(series) > 1
+}

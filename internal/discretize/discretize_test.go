@@ -1,0 +1,171 @@
+package discretize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryScheme(t *testing.T) {
+	b := Binary{}
+	if b.Apply(0) != "zero" || b.Apply(1) != "nonzero" || b.Apply(-3.5) != "nonzero" {
+		t.Fatal("binary mapping wrong")
+	}
+	if len(b.Levels()) != 2 || b.Name() != "binary" {
+		t.Fatalf("binary metadata: %v %q", b.Levels(), b.Name())
+	}
+}
+
+func TestFitQuantile(t *testing.T) {
+	train := make([]float64, 100)
+	for i := range train {
+		train[i] = float64(i + 1) // 1..100
+	}
+	q := FitQuantile(train, PaperPercentiles())
+	if len(q.Boundaries) != 4 {
+		t.Fatalf("boundaries = %v", q.Boundaries)
+	}
+	if q.Apply(1) != "q0" || q.Apply(100) != "q4" {
+		t.Fatalf("extremes: %s %s", q.Apply(1), q.Apply(100))
+	}
+	if q.Apply(50) == q.Apply(90) {
+		t.Fatal("distinct bands collapsed")
+	}
+	if len(q.Levels()) != 5 || q.Name() != "quantile" {
+		t.Fatalf("quantile metadata: %v", q.Levels())
+	}
+	// Values equal to a boundary belong to the lower band.
+	b := q.Boundaries[0]
+	if q.Apply(b) != "q0" {
+		t.Fatalf("boundary value band = %s, want q0", q.Apply(b))
+	}
+}
+
+func TestFitQuantileDedupsBoundaries(t *testing.T) {
+	train := []float64{5, 5, 5, 5, 5, 5, 5, 5, 9, 10}
+	q := FitQuantile(train, PaperPercentiles())
+	for i := 1; i < len(q.Boundaries); i++ {
+		if q.Boundaries[i] == q.Boundaries[i-1] {
+			t.Fatalf("duplicate boundary: %v", q.Boundaries)
+		}
+	}
+}
+
+func TestZeroFraction(t *testing.T) {
+	if got := ZeroFraction([]float64{0, 0, 1, 2}); got != 0.5 {
+		t.Fatalf("ZeroFraction = %v", got)
+	}
+	if got := ZeroFraction(nil); got != 0 {
+		t.Fatalf("empty ZeroFraction = %v", got)
+	}
+}
+
+func TestFitAutoSelectsScheme(t *testing.T) {
+	zeroHeavy := []float64{0, 0, 0, 0, 0, 0, 0, 1, 2, 0}
+	if FitAuto(zeroHeavy).Name() != "binary" {
+		t.Fatal("zero-dominated feature must get binary scheme")
+	}
+	smooth := make([]float64, 50)
+	for i := range smooth {
+		smooth[i] = float64(i)
+	}
+	if FitAuto(smooth).Name() != "quantile" {
+		t.Fatal("smooth feature must get quantile scheme")
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	events := ApplyAll(Binary{}, []float64{0, 3, 0})
+	if events[0] != "zero" || events[1] != "nonzero" || events[2] != "zero" {
+		t.Fatalf("ApplyAll = %v", events)
+	}
+	if got := ApplyAll(Binary{}, nil); len(got) != 0 {
+		t.Fatalf("empty ApplyAll = %v", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	got := Diff([]float64{10, 12, 12, 20})
+	want := []float64{0, 2, 0, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Diff = %v, want %v", got, want)
+		}
+	}
+	if len(Diff(nil)) != 0 || len(Diff([]float64{5})) != 1 {
+		t.Fatal("Diff length handling wrong")
+	}
+}
+
+func TestIsCumulative(t *testing.T) {
+	if !IsCumulative([]float64{1, 1, 2, 5}) {
+		t.Fatal("monotone series must be cumulative")
+	}
+	if IsCumulative([]float64{1, 3, 2}) {
+		t.Fatal("non-monotone series must not be cumulative")
+	}
+	if IsCumulative([]float64{7}) || IsCumulative(nil) {
+		t.Fatal("short series cannot be classified cumulative")
+	}
+}
+
+// Property: every quantile label is valid and ordering is monotone — larger
+// values never land in strictly lower bands.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := make([]float64, 200)
+	for i := range train {
+		train[i] = rng.NormFloat64() * 10
+	}
+	q := FitQuantile(train, PaperPercentiles())
+	valid := make(map[string]int)
+	for i, l := range q.Levels() {
+		valid[l] = i
+	}
+	f := func(a, b float64) bool {
+		a, b = sanitize(a), sanitize(b)
+		la, okA := valid[q.Apply(a)]
+		lb, okB := valid[q.Apply(b)]
+		if !okA || !okB {
+			return false
+		}
+		if a <= b {
+			return la <= lb
+		}
+		return la >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Diff inverts cumulative sums.
+func TestDiffInvertsCumSumQuick(t *testing.T) {
+	f := func(deltas []float64) bool {
+		cum := make([]float64, len(deltas))
+		var run float64
+		for i, d := range deltas {
+			d = sanitize(d)
+			run += d
+			cum[i] = run
+		}
+		back := Diff(cum)
+		for i := 1; i < len(back); i++ {
+			if math.Abs(back[i]-(cum[i]-cum[i-1])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 1e6)
+}

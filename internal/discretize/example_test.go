@@ -1,0 +1,28 @@
+package discretize_test
+
+import (
+	"fmt"
+
+	"mdes/internal/discretize"
+)
+
+func ExampleFitAuto() {
+	// A zero-dominated error counter gets the binary scheme.
+	errors := []float64{0, 0, 0, 0, 0, 0, 0, 2, 0, 1}
+	fmt.Println(discretize.FitAuto(errors).Name())
+
+	// A smooth feature gets quintile bands.
+	temps := []float64{21, 22, 23, 24, 25, 26, 27, 28, 29, 30}
+	scheme := discretize.FitAuto(temps)
+	fmt.Println(scheme.Name(), scheme.Apply(21.5), scheme.Apply(29.5))
+	// Output:
+	// binary
+	// quantile q0 q4
+}
+
+func ExampleDiff() {
+	cumulative := []float64{100, 102, 102, 110}
+	fmt.Println(discretize.Diff(cumulative))
+	// Output:
+	// [0 2 0 8]
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlantReportsShapesHold is the quick-scale reproduction gate for the
+// plant case study: every figure/table regenerates and its paper shape holds.
+func TestPlantReportsShapesHold(t *testing.T) {
+	p, err := QuickPlant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range PlantReports(p) {
+		if r.ID == "" || r.Title == "" || r.Paper == "" || r.Measured == "" {
+			t.Errorf("%s: incomplete report: %+v", r.ID, r)
+		}
+		if r.Body == "" {
+			t.Errorf("%s: empty body", r.ID)
+		}
+		if !r.Pass {
+			t.Errorf("%s: paper shape does not hold: %s", r.ID, r.Measured)
+		}
+	}
+}
+
+// TestHDDReportsShapesHold is the quick-scale gate for the Backblaze case
+// study.
+func TestHDDReportsShapesHold(t *testing.T) {
+	h, err := QuickHDD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range HDDReports(h) {
+		if !r.Pass {
+			t.Errorf("%s: paper shape does not hold: %s", r.ID, r.Measured)
+		}
+		if r.Body == "" {
+			t.Errorf("%s: empty body", r.ID)
+		}
+	}
+}
+
+func TestPlantArtifactsInvariants(t *testing.T) {
+	p, err := QuickPlant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := p.Scale
+	if len(p.Subset) != sc.PlantSubset {
+		t.Fatalf("subset = %d sensors, want %d", len(p.Subset), sc.PlantSubset)
+	}
+	// Popular sensors must be in the subset.
+	for _, pop := range p.GT.Popular {
+		if !containsStr(p.Subset, pop) {
+			t.Fatalf("popular sensor %s missing from subset", pop)
+		}
+	}
+	// Graph covers all ordered pairs of the modelled sensors.
+	n := p.Model.Graph().NumNodes()
+	if p.Model.Graph().NumEdges() != n*(n-1) {
+		t.Fatalf("graph has %d edges for %d nodes", p.Model.Graph().NumEdges(), n)
+	}
+	// Detection points exist and scores are within [0, 1].
+	if len(p.Points) == 0 {
+		t.Fatal("no detection points")
+	}
+	for _, pt := range p.Points {
+		if pt.Score < 0 || pt.Score > 1 {
+			t.Fatalf("score %v out of range", pt.Score)
+		}
+	}
+	// DayOfPoint must be monotone and inside the test horizon.
+	prev := 0
+	for i := range p.Points {
+		d := p.DayOfPoint(i)
+		if d < p.TestStartDay || d > sc.Plant.Days {
+			t.Fatalf("point %d maps to day %d outside [%d, %d]", i, d, p.TestStartDay, sc.Plant.Days)
+		}
+		if d < prev {
+			t.Fatal("DayOfPoint not monotone")
+		}
+		prev = d
+	}
+}
+
+func TestPlantDetectionSeparatesAnomalies(t *testing.T) {
+	p, err := QuickPlant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := p.DayScores(p.Points)
+	var anomalyMean, normalMean float64
+	var na, nn int
+	for d, s := range day {
+		switch {
+		case containsInt(p.GT.AnomalyDays, d):
+			anomalyMean += s
+			na++
+		case containsInt(p.GT.PrecursorDays, d):
+			// precursor days sit between the two populations
+		default:
+			normalMean += s
+			nn++
+		}
+	}
+	if na == 0 || nn == 0 {
+		t.Fatal("missing day populations")
+	}
+	anomalyMean /= float64(na)
+	normalMean /= float64(nn)
+	if anomalyMean <= normalMean {
+		t.Fatalf("anomaly-day mean %.3f <= normal-day mean %.3f", anomalyMean, normalMean)
+	}
+}
+
+func TestHDDArtifactsInvariants(t *testing.T) {
+	h, err := QuickHDD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Outcomes) != len(h.Fleet.Drives) {
+		t.Fatalf("outcomes = %d, drives = %d", len(h.Outcomes), len(h.Fleet.Drives))
+	}
+	if h.RecallOurs < 0 || h.RecallOurs > 1 {
+		t.Fatalf("recall = %v", h.RecallOurs)
+	}
+	if len(h.Baselines) != 3 {
+		t.Fatalf("baselines = %d", len(h.Baselines))
+	}
+	// Table II ordering: supervised RF beats unsupervised OC-SVM, which is
+	// at least in the same league as ours.
+	recall := map[string]float64{}
+	for _, b := range h.Baselines {
+		recall[b.Name] = b.Recall
+	}
+	if recall["RF"] < recall["OC-SVM"] {
+		t.Fatalf("RF %.2f < OC-SVM %.2f", recall["RF"], recall["OC-SVM"])
+	}
+	if recall["Ours"] <= 0 {
+		t.Fatal("our recall is zero")
+	}
+	// Every feature has a discretisation scheme and a language.
+	for _, f := range h.HS.Features {
+		if h.Schemes[f] == nil {
+			t.Fatalf("feature %s missing scheme", f)
+		}
+	}
+}
+
+func TestTopGraphFeaturesOrdered(t *testing.T) {
+	h, err := QuickHDD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := h.TopGraphFeatures(h.ValidRange())
+	sub := h.Graph.Subgraph(toGraphRange(h.ValidRange()))
+	in := sub.InDegrees()
+	for i := 1; i < len(top); i++ {
+		if in[top[i-1]] < in[top[i]] {
+			t.Fatalf("TopGraphFeatures not descending at %d", i)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := Report{ID: "figX", Title: "T", Paper: "p", Measured: "m", Pass: true, Body: "body\n"}
+	s := r.String()
+	for _, want := range []string{"figX", "SHAPE HOLDS", "paper:", "measured:", "body"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String missing %q:\n%s", want, s)
+		}
+	}
+	r.Pass = false
+	if !strings.Contains(r.String(), "SHAPE DIFFERS") {
+		t.Fatal("fail status missing")
+	}
+	md := r.Markdown()
+	for _, want := range []string{"## figX", "**Paper:**", "```"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestClusterPurity(t *testing.T) {
+	truth := map[string]int{"a": 0, "b": 0, "c": 1, "d": 1}
+	perfect := [][]string{{"a", "b"}, {"c", "d"}}
+	if got := clusterPurity(perfect, truth); got != 1 {
+		t.Fatalf("perfect purity = %v", got)
+	}
+	mixed := [][]string{{"a", "c"}, {"b", "d"}}
+	if got := clusterPurity(mixed, truth); got != 0.5 {
+		t.Fatalf("mixed purity = %v", got)
+	}
+	if got := clusterPurity(nil, truth); got != 0 {
+		t.Fatalf("empty purity = %v", got)
+	}
+}
+
+func TestRunLength(t *testing.T) {
+	got := runLength([]string{"A", "A", "B", "B", "B", "A"}, 10)
+	if got != "A×2 B×3 A×1" {
+		t.Fatalf("runLength = %q", got)
+	}
+	capped := runLength([]string{"A", "B", "A", "B"}, 2)
+	if !strings.HasSuffix(capped, "…") {
+		t.Fatalf("capped runLength = %q", capped)
+	}
+}
+
+func TestScalesValidate(t *testing.T) {
+	for _, sc := range []Scale{QuickScale(), FullScale()} {
+		if err := sc.Plant.Validate(); err != nil {
+			t.Errorf("%s plant config invalid: %v", sc.Name, err)
+		}
+		if err := sc.HDD.Gen.Validate(); err != nil {
+			t.Errorf("%s hdd config invalid: %v", sc.Name, err)
+		}
+		if err := sc.PlantLang.Validate(); err != nil {
+			t.Errorf("%s language config invalid: %v", sc.Name, err)
+		}
+		if sc.ValidRange().Lo >= sc.ValidRange().Hi {
+			t.Errorf("%s valid range inverted", sc.Name)
+		}
+	}
+}
+
+func TestFig8TopBandWeaker(t *testing.T) {
+	p, err := QuickPlant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := p.TopBandPoints()
+	if len(top) == 0 {
+		t.Skip("no [90,100] relationships at this scale")
+	}
+	if sep := p.separation(p.Points); sep <= p.separation(top) {
+		t.Fatalf("valid-band separation %.3f <= top-band %.3f", sep, p.separation(top))
+	}
+}
+
+func containsStr(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

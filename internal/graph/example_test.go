@@ -1,0 +1,33 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"mdes/internal/graph"
+)
+
+func ExampleGraph_Subgraph() {
+	g := graph.New()
+	g.AddEdge("pump", "valve", 86)
+	g.AddEdge("valve", "pump", 88)
+	g.AddEdge("pump", "fan", 45)
+
+	strong := g.Subgraph(graph.BestRange()) // [80, 90)
+	for _, e := range strong.Edges() {
+		fmt.Printf("%s -> %s (%.0f)\n", e.Src, e.Tgt, e.Score)
+	}
+	// Output:
+	// pump -> valve (86)
+	// valve -> pump (88)
+}
+
+func ExampleGraph_PopularSensors() {
+	g := graph.New()
+	for _, src := range []string{"a", "b", "c", "d"} {
+		g.AddEdge(src, "hub", 85) // everyone translates into the hub
+	}
+	g.AddEdge("a", "b", 85)
+	fmt.Println(g.PopularSensors(3))
+	// Output:
+	// [hub]
+}

@@ -1,0 +1,279 @@
+// Package lang turns discrete event sequences into sensor "languages"
+// (paper §II-A1/§II-A2): events are encrypted into characters by
+// alphanumeric rank, characters are grouped into fixed-length words with a
+// sliding window, words into fixed-length sentences with a second sliding
+// window, and each sensor's distinct words form its vocabulary.
+//
+// Token-id conventions (shared with internal/nmt): 0 = <unk>, 1 = <s>,
+// 2 = </s>; real words start at id 3.
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"mdes/internal/seqio"
+)
+
+// Reserved vocabulary entries.
+const (
+	UnkWord = "<unk>"
+	BosWord = "<s>"
+	EosWord = "</s>"
+
+	UnkID = 0
+	BosID = 1
+	EosID = 2
+
+	numReserved = 3
+)
+
+// unknownChar encodes an event never seen during training (the paper's
+// reserved <unk> system state). It sorts outside the 'a'.. alphabet range.
+const unknownChar = '?'
+
+// Config controls word and sentence generation. The paper's plant settings
+// are WordLen 10, WordStride 1, SentenceLen 20, SentenceStride 20; the HDD
+// settings are WordLen 5, WordStride 1, SentenceLen 7, SentenceStride 1.
+type Config struct {
+	WordLen        int
+	WordStride     int
+	SentenceLen    int
+	SentenceStride int
+	// MaxVocab caps the per-sensor vocabulary by training frequency
+	// (ties broken lexicographically); 0 means unlimited. Words beyond
+	// the cap encode as <unk>.
+	MaxVocab int
+}
+
+// PlantConfig returns the paper's physical-plant language settings (§III-A1).
+func PlantConfig() Config {
+	return Config{WordLen: 10, WordStride: 1, SentenceLen: 20, SentenceStride: 20}
+}
+
+// HDDConfig returns the paper's Backblaze language settings (§IV-C).
+func HDDConfig() Config {
+	return Config{WordLen: 5, WordStride: 1, SentenceLen: 7, SentenceStride: 1}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.WordLen <= 0 || c.WordStride <= 0:
+		return fmt.Errorf("lang: word length %d / stride %d must be positive", c.WordLen, c.WordStride)
+	case c.SentenceLen <= 0 || c.SentenceStride <= 0:
+		return fmt.Errorf("lang: sentence length %d / stride %d must be positive", c.SentenceLen, c.SentenceStride)
+	case c.MaxVocab < 0:
+		return fmt.Errorf("lang: max vocab %d must be non-negative", c.MaxVocab)
+	}
+	return nil
+}
+
+// NumWords returns how many words a sequence of `ticks` events yields, and
+// NumSentences how many sentences those words yield. Both are 0 when the
+// input is too short.
+func (c Config) NumWords(ticks int) int {
+	if ticks < c.WordLen {
+		return 0
+	}
+	return (ticks-c.WordLen)/c.WordStride + 1
+}
+
+// NumSentences returns the number of sentences produced from `ticks` events.
+func (c Config) NumSentences(ticks int) int {
+	w := c.NumWords(ticks)
+	if w < c.SentenceLen {
+		return 0
+	}
+	return (w-c.SentenceLen)/c.SentenceStride + 1
+}
+
+// Encrypt maps each event to a character by alphanumeric rank within the
+// training alphabet: the i-th distinct event becomes 'a'+i. Events outside
+// the alphabet become unknownChar. Alphabets longer than 26 extend into
+// subsequent ASCII; sensors in this domain have single-digit cardinality
+// (paper: mean 2.07, max 7).
+func Encrypt(events []string, alphabet []string) []byte {
+	rank := make(map[string]byte, len(alphabet))
+	for i, e := range alphabet {
+		rank[e] = byte('a' + i)
+	}
+	out := make([]byte, len(events))
+	for i, e := range events {
+		if ch, ok := rank[e]; ok {
+			out[i] = ch
+		} else {
+			out[i] = unknownChar
+		}
+	}
+	return out
+}
+
+// Words slides a WordLen window with WordStride over the encrypted
+// characters.
+func (c Config) Words(chars []byte) []string {
+	n := c.NumWords(len(chars))
+	out := make([]string, 0, n)
+	for i := 0; i+c.WordLen <= len(chars); i += c.WordStride {
+		out = append(out, string(chars[i:i+c.WordLen]))
+	}
+	return out
+}
+
+// Sentences slides a SentenceLen window with SentenceStride over words.
+func (c Config) Sentences(words []string) [][]string {
+	var out [][]string
+	for i := 0; i+c.SentenceLen <= len(words); i += c.SentenceStride {
+		sent := make([]string, c.SentenceLen)
+		copy(sent, words[i:i+c.SentenceLen])
+		out = append(out, sent)
+	}
+	return out
+}
+
+// Vocab is one sensor's word vocabulary with reserved entries.
+type Vocab struct {
+	words []string       // id -> word; ids 0..2 reserved
+	index map[string]int // word -> id
+}
+
+// BuildVocab collects the distinct words of the training sentences, keeps at
+// most maxVocab of them by descending frequency (ties lexicographic), and
+// assigns ids deterministically.
+func BuildVocab(sentences [][]string, maxVocab int) *Vocab {
+	freq := make(map[string]int)
+	for _, sent := range sentences {
+		for _, w := range sent {
+			freq[w]++
+		}
+	}
+	words := make([]string, 0, len(freq))
+	for w := range freq {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if freq[words[i]] != freq[words[j]] {
+			return freq[words[i]] > freq[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	if maxVocab > 0 && len(words) > maxVocab {
+		words = words[:maxVocab]
+	}
+	v := &Vocab{
+		words: append([]string{UnkWord, BosWord, EosWord}, words...),
+		index: make(map[string]int, len(words)+numReserved),
+	}
+	for id, w := range v.words {
+		v.index[w] = id
+	}
+	return v
+}
+
+// VocabFromWords rebuilds a vocabulary from real words in id order (as
+// persisted by a model save); ids are reassigned 3, 4, … in slice order.
+func VocabFromWords(words []string) *Vocab {
+	v := &Vocab{
+		words: append([]string{UnkWord, BosWord, EosWord}, words...),
+		index: make(map[string]int, len(words)+numReserved),
+	}
+	for id, w := range v.words {
+		v.index[w] = id
+	}
+	return v
+}
+
+// Size returns the vocabulary size including the three reserved tokens.
+func (v *Vocab) Size() int { return len(v.words) }
+
+// WordCount returns the number of real (non-reserved) words.
+func (v *Vocab) WordCount() int { return len(v.words) - numReserved }
+
+// ID returns the id of a word, or UnkID if absent.
+func (v *Vocab) ID(word string) int {
+	if id, ok := v.index[word]; ok {
+		return id
+	}
+	return UnkID
+}
+
+// Word returns the word for an id, or <unk> for out-of-range ids.
+func (v *Vocab) Word(id int) string {
+	if id < 0 || id >= len(v.words) {
+		return UnkWord
+	}
+	return v.words[id]
+}
+
+// Encode maps a sentence to token ids.
+func (v *Vocab) Encode(sentence []string) []int {
+	out := make([]int, len(sentence))
+	for i, w := range sentence {
+		out[i] = v.ID(w)
+	}
+	return out
+}
+
+// EncodeAll maps sentences to token id sequences.
+func (v *Vocab) EncodeAll(sentences [][]string) [][]int {
+	out := make([][]int, len(sentences))
+	for i, s := range sentences {
+		out[i] = v.Encode(s)
+	}
+	return out
+}
+
+// Decode maps token ids back to words.
+func (v *Vocab) Decode(ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = v.Word(id)
+	}
+	return out
+}
+
+// Language is one sensor's trained language: its event alphabet, vocabulary,
+// and the configuration that produced them.
+type Language struct {
+	Sensor   string
+	Alphabet []string
+	Vocab    *Vocab
+	Config   Config
+}
+
+// ErrTooShort indicates a sequence shorter than one sentence.
+var ErrTooShort = errors.New("lang: sequence too short for one sentence")
+
+// Build learns a sensor language from its training sequence.
+func Build(seq seqio.Sequence, cfg Config) (*Language, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumSentences(len(seq.Events)) == 0 {
+		return nil, fmt.Errorf("%w: sensor %q has %d ticks", ErrTooShort, seq.Sensor, len(seq.Events))
+	}
+	alphabet := seq.Alphabet()
+	sentences := cfg.Sentences(cfg.Words(Encrypt(seq.Events, alphabet)))
+	return &Language{
+		Sensor:   seq.Sensor,
+		Alphabet: alphabet,
+		Vocab:    BuildVocab(sentences, cfg.MaxVocab),
+		Config:   cfg,
+	}, nil
+}
+
+// SentencesFor converts any aligned sequence of the same sensor (train, dev,
+// or test split) into encoded sentences using the *training* alphabet and
+// vocabulary; unseen events flow through unknownChar into <unk> words.
+func (l *Language) SentencesFor(seq seqio.Sequence) ([][]int, error) {
+	if cnt := l.Config.NumSentences(len(seq.Events)); cnt == 0 {
+		return nil, fmt.Errorf("%w: sensor %q has %d ticks", ErrTooShort, seq.Sensor, len(seq.Events))
+	}
+	raw := l.Config.Sentences(l.Config.Words(Encrypt(seq.Events, l.Alphabet)))
+	return l.Vocab.EncodeAll(raw), nil
+}
+
+// VocabularySize reports the number of distinct real words — Fig 3(b)'s
+// per-sensor vocabulary size statistic.
+func (l *Language) VocabularySize() int { return l.Vocab.WordCount() }

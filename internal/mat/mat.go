@@ -1,0 +1,302 @@
+// Package mat provides dense float64 matrices and the small set of linear
+// algebra kernels the rest of the library needs: matrix products, axpy-style
+// updates, row/column reductions, softmax, and weight initialisation.
+//
+// Matrices are stored row-major in a single flat slice, which keeps hot loops
+// cache-friendly and allocation-free once buffers exist. All operations are
+// deterministic; randomised initialisers take an explicit *rand.Rand.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense, row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols) in a Matrix without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (no copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// XavierFill initialises m with Glorot-uniform values for a fan-in/fan-out
+// pair derived from the matrix shape, using rng for reproducibility.
+func (m *Matrix) XavierFill(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// UniformFill initialises m with uniform values in [-scale, scale].
+func (m *Matrix) UniformFill(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// Equal reports whether m and n have identical shape and elements within eps.
+func (m *Matrix) Equal(n *Matrix, eps float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-n.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}
+
+// MulVec computes dst = m · x where x has length m.Cols and dst length m.Rows.
+// dst must not alias x.
+func (m *Matrix) MulVec(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d · %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum float64
+		for j, w := range row {
+			sum += w * x[j]
+		}
+		dst[i] = sum
+	}
+}
+
+// MulVecAdd computes dst += m · x.
+func (m *Matrix) MulVecAdd(dst, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVecAdd shape mismatch %dx%d · %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum float64
+		for j, w := range row {
+			sum += w * x[j]
+		}
+		dst[i] += sum
+	}
+}
+
+// MulVecT computes dst = mᵀ · x where x has length m.Rows and dst m.Cols.
+func (m *Matrix) MulVecT(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVecT shape mismatch %dx%dᵀ · %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// MulVecTAdd computes dst += mᵀ · x.
+func (m *Matrix) MulVecTAdd(dst, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVecTAdd shape mismatch %dx%dᵀ · %d -> %d",
+			m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// AddOuter accumulates the outer product dst += a ⊗ b, where dst is
+// len(a)×len(b).
+func (m *Matrix) AddOuter(a, b []float64) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic(fmt.Sprintf("mat: AddOuter shape mismatch %dx%d += %d⊗%d",
+			m.Rows, m.Cols, len(a), len(b)))
+	}
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, bj := range b {
+			row[j] += ai * bj
+		}
+	}
+}
+
+// Axpy computes dst += alpha * x for equal-length slices.
+func Axpy(alpha float64, x, dst []float64) {
+	if len(x) != len(dst) {
+		panic(fmt.Sprintf("mat: Axpy length mismatch %d vs %d", len(x), len(dst)))
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Dot returns the inner product of equal-length slices.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var sum float64
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// Softmax writes softmax(x) into dst (may alias x). It is numerically stable
+// against large logits.
+func Softmax(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("mat: Softmax length mismatch %d vs %d", len(dst), len(x)))
+	}
+	if len(x) == 0 {
+		return
+	}
+	maxV := x[0]
+	for _, v := range x[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(v - maxV)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	maxV := x[0]
+	for _, v := range x[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for _, v := range x {
+		sum += math.Exp(v - maxV)
+	}
+	return maxV + math.Log(sum)
+}
+
+// ArgMax returns the index of the largest element (first on ties); -1 for an
+// empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x[1:] {
+		if v > x[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+// Tanh applies tanh element-wise in place.
+func Tanh(x []float64) {
+	for i, v := range x {
+		x[i] = math.Tanh(v)
+	}
+}
+
+// Sigmoid applies the logistic function element-wise in place.
+func Sigmoid(x []float64) {
+	for i, v := range x {
+		x[i] = 1 / (1 + math.Exp(-v))
+	}
+}

@@ -1,0 +1,104 @@
+package nmt
+
+import (
+	"math/rand"
+	"testing"
+
+	"mdes/internal/bleu"
+)
+
+func trainedCopyModel(t *testing.T, seed int64, steps int) (*Model, [][]int, [][]int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	src, tgt := copyCorpus(rng, 50, 5, 5)
+	cfg := tinyConfig()
+	cfg.TrainSteps = steps
+	m, err := NewModel(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(src, tgt); err != nil {
+		t.Fatal(err)
+	}
+	return m, src, tgt
+}
+
+func TestBeamWidthOneMatchesGreedy(t *testing.T) {
+	m, src, _ := trainedCopyModel(t, 31, 60)
+	for i := 0; i < 10; i++ {
+		greedy := m.Translate(src[i])
+		beam := m.TranslateBeam(src[i], 1)
+		if !equalInts(greedy, beam) {
+			t.Fatalf("width-1 beam %v != greedy %v", beam, greedy)
+		}
+	}
+}
+
+func TestBeamSearchAtLeastAsGoodAsGreedy(t *testing.T) {
+	// A deliberately under-trained model leaves room for beam search.
+	m, src, tgt := trainedCopyModel(t, 32, 60)
+	greedyHyps := make([][]int, 20)
+	beamHyps := make([][]int, 20)
+	for i := 0; i < 20; i++ {
+		greedyHyps[i] = m.Translate(src[i])
+		beamHyps[i] = m.TranslateBeam(src[i], 4)
+	}
+	g := bleu.CorpusIDs(tgt[:20], greedyHyps, 4)
+	b := bleu.CorpusIDs(tgt[:20], beamHyps, 4)
+	if b < g-5 {
+		t.Fatalf("beam BLEU %.1f much worse than greedy %.1f", b, g)
+	}
+}
+
+func TestBeamProperties(t *testing.T) {
+	m, src, _ := trainedCopyModel(t, 33, 40)
+	if out := m.TranslateBeam(nil, 4); out != nil {
+		t.Fatal("empty source must decode to nil")
+	}
+	for _, width := range []int{2, 3, 5} {
+		out := m.TranslateBeam(src[0], width)
+		if len(out) > m.Config().MaxDecodeLen {
+			t.Fatalf("beam output exceeds MaxDecodeLen: %d", len(out))
+		}
+		for _, tok := range out {
+			if tok == BosID || tok == EosID {
+				t.Fatalf("beam emitted reserved token %d", tok)
+			}
+			if tok < 0 || tok >= m.Config().TgtVocab {
+				t.Fatalf("beam emitted out-of-vocab token %d", tok)
+			}
+		}
+	}
+}
+
+func TestBeamDeterministic(t *testing.T) {
+	m, src, _ := trainedCopyModel(t, 34, 40)
+	a := m.TranslateBeam(src[1], 3)
+	b := m.TranslateBeam(src[1], 3)
+	if !equalInts(a, b) {
+		t.Fatal("beam decoding must be deterministic")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	probs := []float64{0.1, 0.5, 0.2, 0.15, 0.05}
+	got := topK(probs, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("topK = %v", got)
+	}
+	if got := topK(probs, 99); len(got) != len(probs) {
+		t.Fatalf("topK clamp = %v", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

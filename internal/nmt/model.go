@@ -1,0 +1,410 @@
+// Package nmt implements the neural machine translation model the framework
+// uses to quantify pairwise sensor relationships: a multi-layer LSTM
+// encoder/decoder with Luong (general) attention, trained with teacher
+// forcing, Adam, and gradient clipping, decoded greedily — a from-scratch,
+// scaled-down counterpart of the TensorFlow seq2seq model the paper uses
+// (Luong et al. 2015, Sutskever et al. 2014).
+//
+// Token id conventions follow internal/lang: 0 = <unk>, 1 = <s> (BOS),
+// 2 = </s> (EOS); real words start at 3.
+package nmt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mdes/internal/mat"
+	"mdes/internal/nn"
+)
+
+// Reserved token ids shared with internal/lang.
+const (
+	UnkID = 0
+	BosID = 1
+	EosID = 2
+)
+
+// Config holds the NMT hyper-parameters. The paper's settings (§III-A2) are
+// 2 LSTM layers, 64 hidden units, 64-dim embeddings, 1000 training steps,
+// dropout 0.2; DefaultConfig scales these down for pure-Go sweeps.
+type Config struct {
+	SrcVocab, TgtVocab int
+	Embed              int
+	Hidden             int
+	Layers             int
+	Dropout            float64
+	LearningRate       float64
+	ClipNorm           float64
+	TrainSteps         int
+	BatchSize          int
+	MaxDecodeLen       int
+	// Attention selects the Luong scoring variant; zero value means
+	// "general", the paper's default.
+	Attention nn.AttentionKind
+}
+
+// PaperConfig returns the exact hyper-parameters from §III-A2 of the paper
+// (vocabulary sizes must still be filled in by the caller).
+func PaperConfig() Config {
+	return Config{
+		Embed: 64, Hidden: 64, Layers: 2,
+		Dropout: 0.2, LearningRate: 1e-3, ClipNorm: 5,
+		TrainSteps: 1000, BatchSize: 16, MaxDecodeLen: 40,
+	}
+}
+
+// DefaultConfig returns hyper-parameters scaled for full pairwise sweeps on a
+// laptop while keeping the paper's architecture (2 LSTM layers, attention,
+// dropout 0.2).
+func DefaultConfig() Config {
+	return Config{
+		Embed: 32, Hidden: 32, Layers: 2,
+		Dropout: 0.2, LearningRate: 2e-3, ClipNorm: 5,
+		TrainSteps: 150, BatchSize: 8, MaxDecodeLen: 30,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SrcVocab < 3 || c.TgtVocab < 3:
+		return fmt.Errorf("nmt: vocab sizes must include reserved tokens, got %d/%d", c.SrcVocab, c.TgtVocab)
+	case c.Embed <= 0 || c.Hidden <= 0 || c.Layers <= 0:
+		return fmt.Errorf("nmt: embed/hidden/layers must be positive, got %d/%d/%d", c.Embed, c.Hidden, c.Layers)
+	case c.Dropout < 0 || c.Dropout >= 1:
+		return fmt.Errorf("nmt: dropout %v outside [0,1)", c.Dropout)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("nmt: learning rate %v must be positive", c.LearningRate)
+	case c.TrainSteps < 0 || c.BatchSize <= 0:
+		return fmt.Errorf("nmt: steps %d / batch %d invalid", c.TrainSteps, c.BatchSize)
+	case c.MaxDecodeLen <= 0:
+		return fmt.Errorf("nmt: max decode length %d must be positive", c.MaxDecodeLen)
+	}
+	return nil
+}
+
+// Model is one directional translation model g(i,j).
+type Model struct {
+	cfg    Config
+	params nn.Params
+	srcEmb *nn.Embedding
+	tgtEmb *nn.Embedding
+	enc    *nn.StackedLSTM
+	dec    *nn.StackedLSTM
+	attn   *nn.LuongAttention
+	out    *nn.Linear
+	opt    *nn.Adam
+	rng    *rand.Rand
+}
+
+// NewModel builds a model with freshly initialised weights drawn from seed.
+func NewModel(cfg Config, seed int64) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{cfg: cfg, rng: rng}
+	m.srcEmb = nn.NewEmbedding(&m.params, "src_emb", cfg.SrcVocab, cfg.Embed, rng)
+	m.tgtEmb = nn.NewEmbedding(&m.params, "tgt_emb", cfg.TgtVocab, cfg.Embed, rng)
+	m.enc = nn.NewStackedLSTM(&m.params, "enc", cfg.Layers, cfg.Embed, cfg.Hidden, cfg.Dropout, rng)
+	m.dec = nn.NewStackedLSTM(&m.params, "dec", cfg.Layers, cfg.Embed, cfg.Hidden, cfg.Dropout, rng)
+	kind := cfg.Attention
+	if kind == 0 {
+		kind = nn.AttentionGeneral
+	}
+	m.attn = nn.NewLuongAttentionKind(&m.params, "attn", cfg.Hidden, kind, rng)
+	m.out = nn.NewLinear(&m.params, "out", cfg.Hidden, cfg.TgtVocab, rng)
+	m.opt = nn.NewAdam(cfg.LearningRate)
+	return m, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// ParamCount returns the number of trainable scalars.
+func (m *Model) ParamCount() int { return m.params.Count() }
+
+// State is a serialisable snapshot of a trained model.
+type State struct {
+	Config  Config               `json:"config"`
+	Weights map[string][]float64 `json:"weights"`
+}
+
+// State captures the model's configuration and weights for persistence.
+func (m *Model) State() State {
+	return State{Config: m.cfg, Weights: m.params.Snapshot()}
+}
+
+// LoadModel reconstructs a model from a snapshot. The rebuilt model decodes
+// identically to the original; optimiser state is not preserved.
+func LoadModel(st State) (*Model, error) {
+	m, err := NewModel(st.Config, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.params.Restore(st.Weights); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// encodeResult caches the encoder pass for backprop or decoding.
+type encodeResult struct {
+	states []*nn.StackState // state after each step; len == len(src)
+	caches []*nn.StackStep
+	top    [][]float64 // top-layer hidden per source position
+	final  *nn.StackState
+}
+
+func (m *Model) encode(src []int, train bool) *encodeResult {
+	res := &encodeResult{
+		states: make([]*nn.StackState, 0, len(src)),
+		caches: make([]*nn.StackStep, 0, len(src)),
+		top:    make([][]float64, 0, len(src)),
+	}
+	st := m.enc.ZeroState()
+	var rng *rand.Rand
+	if train {
+		rng = m.rng
+	}
+	for _, tok := range src {
+		next, cache := m.enc.Step(st, m.srcEmb.Lookup(m.clampSrc(tok)), rng)
+		st = next
+		res.states = append(res.states, st)
+		res.caches = append(res.caches, cache)
+		res.top = append(res.top, st.H[m.enc.Layers()-1])
+	}
+	res.final = st
+	return res
+}
+
+func (m *Model) clampSrc(tok int) int {
+	if tok < 0 || tok >= m.cfg.SrcVocab {
+		return UnkID
+	}
+	return tok
+}
+
+func (m *Model) clampTgt(tok int) int {
+	if tok < 0 || tok >= m.cfg.TgtVocab {
+		return UnkID
+	}
+	return tok
+}
+
+// ErrEmptySequence is returned when a training pair has an empty side.
+var ErrEmptySequence = errors.New("nmt: empty source or target sequence")
+
+// TrainExample performs forward+backward on one (src, tgt) pair, accumulating
+// gradients, and returns the summed token cross-entropy and token count. The
+// caller batches examples and applies the optimiser step.
+func (m *Model) TrainExample(src, tgt []int) (loss float64, tokens int, err error) {
+	if len(src) == 0 || len(tgt) == 0 {
+		return 0, 0, ErrEmptySequence
+	}
+	enc := m.encode(src, true)
+
+	// Teacher forcing: input  = <s>, t1 … tn
+	//                  target = t1 … tn, </s>
+	inputs := make([]int, 0, len(tgt)+1)
+	inputs = append(inputs, BosID)
+	for _, tok := range tgt {
+		inputs = append(inputs, m.clampTgt(tok))
+	}
+	targets := make([]int, 0, len(tgt)+1)
+	for _, tok := range tgt {
+		targets = append(targets, m.clampTgt(tok))
+	}
+	targets = append(targets, EosID)
+
+	st := enc.final.Clone()
+	decCaches := make([]*nn.StackStep, len(inputs))
+	attnSteps := make([]*nn.AttnStep, len(inputs))
+	probs := make([][]float64, len(inputs))
+	for t, tok := range inputs {
+		var cache *nn.StackStep
+		st, cache = m.dec.Step(st, m.tgtEmb.Lookup(tok), m.rng)
+		decCaches[t] = cache
+		attnSteps[t] = m.attn.Forward(enc.top, st.H[m.dec.Layers()-1])
+		logits := make([]float64, m.cfg.TgtVocab)
+		m.out.Forward(logits, attnSteps[t].HTilde)
+		p := make([]float64, m.cfg.TgtVocab)
+		mat.Softmax(p, logits)
+		probs[t] = p
+		loss += -math.Log(math.Max(p[targets[t]], 1e-12))
+	}
+
+	// Backward pass, walking the decoder in reverse time order.
+	dEnc := make([][]float64, len(src))
+	for i := range dEnc {
+		dEnc[i] = make([]float64, m.cfg.Hidden)
+	}
+	carry := m.dec.ZeroGradState()
+	for t := len(inputs) - 1; t >= 0; t-- {
+		// d logits = p − one_hot(target).
+		dLogits := append([]float64(nil), probs[t]...)
+		dLogits[targets[t]] -= 1
+		dHTilde := make([]float64, m.cfg.Hidden)
+		m.out.Backward(dHTilde, attnSteps[t].HTilde, dLogits)
+
+		dTop := make([]float64, m.cfg.Hidden)
+		m.attn.Backward(attnSteps[t], dHTilde, dTop, dEnc)
+
+		dx := make([]float64, m.cfg.Embed)
+		m.dec.StepBackward(decCaches[t], dTop, carry, dx)
+		m.tgtEmb.Backward(inputs[t], dx)
+	}
+
+	// The decoder's initial state is the encoder's final state: the leftover
+	// carry flows into the encoder BPTT below at the last source step.
+	encCarry := m.enc.ZeroGradState()
+	for l := 0; l < m.enc.Layers(); l++ {
+		copy(encCarry.DH[l], carry.DH[l])
+		copy(encCarry.DC[l], carry.DC[l])
+	}
+	zeroTop := make([]float64, m.cfg.Hidden)
+	for t := len(src) - 1; t >= 0; t-- {
+		dTop := zeroTop
+		if len(dEnc[t]) > 0 {
+			dTop = dEnc[t]
+		}
+		dx := make([]float64, m.cfg.Embed)
+		m.enc.StepBackward(enc.caches[t], dTop, encCarry, dx)
+		m.srcEmb.Backward(m.clampSrc(src[t]), dx)
+	}
+	return loss, len(targets), nil
+}
+
+// TrainResult summarises a Train run.
+type TrainResult struct {
+	Steps     int
+	FinalLoss float64 // mean per-token cross-entropy over the last step's batch
+}
+
+// Train runs cfg.TrainSteps optimiser steps over the aligned corpus
+// (src[i] translates to tgt[i]), sampling batches with the model RNG.
+func (m *Model) Train(src, tgt [][]int) (TrainResult, error) {
+	if len(src) != len(tgt) {
+		return TrainResult{}, fmt.Errorf("nmt: corpus sides differ: %d vs %d", len(src), len(tgt))
+	}
+	if len(src) == 0 {
+		return TrainResult{}, ErrEmptySequence
+	}
+	var res TrainResult
+	for step := 0; step < m.cfg.TrainSteps; step++ {
+		m.params.ZeroGrad()
+		var lossSum float64
+		var tokens int
+		for b := 0; b < m.cfg.BatchSize; b++ {
+			i := m.rng.Intn(len(src))
+			if len(src[i]) == 0 || len(tgt[i]) == 0 {
+				continue
+			}
+			l, n, err := m.TrainExample(src[i], tgt[i])
+			if err != nil {
+				return res, err
+			}
+			lossSum += l
+			tokens += n
+		}
+		if tokens == 0 {
+			return res, ErrEmptySequence
+		}
+		// Average the batch gradient so the learning rate is batch-size
+		// independent.
+		scale := 1 / float64(tokens)
+		for _, prm := range m.params.All() {
+			mat.Scale(scale, prm.Grad.Data)
+		}
+		m.params.ClipGrad(m.cfg.ClipNorm)
+		m.opt.Step(&m.params)
+		res.Steps++
+		res.FinalLoss = lossSum / float64(tokens)
+	}
+	return res, nil
+}
+
+// Translate greedily decodes the source sentence and returns target token
+// ids (without BOS/EOS). Decoding stops at EOS or cfg.MaxDecodeLen.
+func (m *Model) Translate(src []int) []int {
+	if len(src) == 0 {
+		return nil
+	}
+	enc := m.encode(src, false)
+	st := enc.final.Clone()
+	tok := BosID
+	out := make([]int, 0, m.cfg.MaxDecodeLen)
+	logits := make([]float64, m.cfg.TgtVocab)
+	for t := 0; t < m.cfg.MaxDecodeLen; t++ {
+		var cache *nn.StackStep
+		st, cache = m.dec.Step(st, m.tgtEmb.Lookup(tok), nil)
+		_ = cache
+		attn := m.attn.Forward(enc.top, st.H[m.dec.Layers()-1])
+		m.out.Forward(logits, attn.HTilde)
+		// Never emit BOS; treat it as masked out.
+		logits[BosID] = math.Inf(-1)
+		tok = mat.ArgMax(logits)
+		if tok == EosID {
+			break
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// Perplexity returns exp(mean token cross-entropy) of the model on an
+// aligned corpus without updating weights.
+func (m *Model) Perplexity(src, tgt [][]int) (float64, error) {
+	if len(src) != len(tgt) {
+		return 0, fmt.Errorf("nmt: corpus sides differ: %d vs %d", len(src), len(tgt))
+	}
+	var lossSum float64
+	var tokens int
+	for i := range src {
+		if len(src[i]) == 0 || len(tgt[i]) == 0 {
+			continue
+		}
+		l, n := m.scoreExample(src[i], tgt[i])
+		lossSum += l
+		tokens += n
+	}
+	if tokens == 0 {
+		return 0, ErrEmptySequence
+	}
+	return math.Exp(lossSum / float64(tokens)), nil
+}
+
+// scoreExample computes the teacher-forced cross-entropy without gradients.
+func (m *Model) scoreExample(src, tgt []int) (float64, int) {
+	enc := m.encode(src, false)
+	st := enc.final.Clone()
+	inputs := append([]int{BosID}, clampAll(tgt, m.cfg.TgtVocab)...)
+	targets := append(clampAll(tgt, m.cfg.TgtVocab), EosID)
+	var loss float64
+	logits := make([]float64, m.cfg.TgtVocab)
+	p := make([]float64, m.cfg.TgtVocab)
+	for t, tok := range inputs {
+		var cache *nn.StackStep
+		st, cache = m.dec.Step(st, m.tgtEmb.Lookup(tok), nil)
+		_ = cache
+		attn := m.attn.Forward(enc.top, st.H[m.dec.Layers()-1])
+		m.out.Forward(logits, attn.HTilde)
+		mat.Softmax(p, logits)
+		loss += -math.Log(math.Max(p[targets[t]], 1e-12))
+	}
+	return loss, len(targets)
+}
+
+func clampAll(toks []int, vocab int) []int {
+	out := make([]int, len(toks))
+	for i, t := range toks {
+		if t < 0 || t >= vocab {
+			out[i] = UnkID
+		} else {
+			out[i] = t
+		}
+	}
+	return out
+}

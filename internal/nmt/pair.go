@@ -1,0 +1,145 @@
+package nmt
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mdes/internal/bleu"
+)
+
+// PairData is the aligned corpus for one directional sensor pair (i → j):
+// training sentences, and a development split used to score the learned
+// relationship.
+type PairData struct {
+	Src, Tgt string // sensor names, for reporting
+
+	TrainSrc, TrainTgt [][]int // aligned training sentences (token ids)
+	DevSrc, DevTgt     [][]int // aligned development sentences
+
+	SrcVocab, TgtVocab int
+}
+
+// PairResult is the trained model and its translation score for one pair.
+type PairResult struct {
+	Src, Tgt string
+	Model    *Model
+	// BLEU is the corpus BLEU of greedy dev-set translations against the
+	// target references — the s(i,j) edge weight of the relationship graph.
+	BLEU float64
+	// Runtime covers training plus dev-set scoring, mirroring Fig 4(a).
+	Runtime time.Duration
+	Err     error
+}
+
+// TrainPair trains one directional model on data and scores it on the dev
+// split. The seed makes the run reproducible.
+func TrainPair(cfg Config, data PairData, seed int64) PairResult {
+	start := time.Now()
+	res := PairResult{Src: data.Src, Tgt: data.Tgt}
+	cfg.SrcVocab = data.SrcVocab
+	cfg.TgtVocab = data.TgtVocab
+	model, err := NewModel(cfg, seed)
+	if err != nil {
+		res.Err = fmt.Errorf("pair %s->%s: %w", data.Src, data.Tgt, err)
+		return res
+	}
+	if _, err := model.Train(data.TrainSrc, data.TrainTgt); err != nil {
+		res.Err = fmt.Errorf("pair %s->%s: train: %w", data.Src, data.Tgt, err)
+		return res
+	}
+	res.Model = model
+	res.BLEU = ScoreCorpus(model, data.DevSrc, data.DevTgt)
+	res.Runtime = time.Since(start)
+	return res
+}
+
+// ScoreCorpus greedily translates every source sentence and returns corpus
+// BLEU against the aligned references.
+func ScoreCorpus(m *Model, src, refs [][]int) float64 {
+	hyps := make([][]int, len(src))
+	maskedRefs := make([][]int, len(refs))
+	for i, s := range src {
+		hyps[i] = m.Translate(s)
+	}
+	for i, r := range refs {
+		maskedRefs[i] = maskRefUnknowns(r)
+	}
+	return bleu.CorpusIDs(maskedRefs, hyps, bleu.MaxOrder)
+}
+
+// ScoreSentence translates one source sentence and returns smoothed sentence
+// BLEU against its reference — the f(i,j) of Algorithm 2.
+func ScoreSentence(m *Model, src, ref []int) float64 {
+	return bleu.SentenceIDs(maskRefUnknowns(ref), m.Translate(src), bleu.MaxOrder, bleu.SmoothAddOne)
+}
+
+// maskRefUnknowns replaces <unk> reference tokens with per-position
+// sentinels that can never match a hypothesis token. An unknown observed
+// state must not count as correctly predicted — otherwise a test window full
+// of never-seen events (the strongest possible anomaly) would score a
+// perfect translation against a model that also emits <unk>.
+func maskRefUnknowns(ref []int) []int {
+	masked := ref
+	copied := false
+	for i, tok := range ref {
+		if tok == UnkID {
+			if !copied {
+				masked = append([]int(nil), ref...)
+				copied = true
+			}
+			masked[i] = -(i + 1)
+		}
+	}
+	return masked
+}
+
+// TrainPairs trains every pair on a bounded worker pool, preserving input
+// order in the result slice. workers <= 0 selects GOMAXPROCS. The context
+// cancels outstanding work: cancelled pairs carry ctx.Err().
+//
+// Each pair derives its seed as baseSeed + index so results do not depend on
+// goroutine scheduling.
+func TrainPairs(ctx context.Context, cfg Config, pairs []PairData, workers int, baseSeed int64) []PairResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	results := make([]PairResult, len(pairs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if err := ctx.Err(); err != nil {
+					results[idx] = PairResult{
+						Src: pairs[idx].Src, Tgt: pairs[idx].Tgt, Err: err,
+					}
+					continue
+				}
+				results[idx] = TrainPair(cfg, pairs[idx], baseSeed+int64(idx))
+			}
+		}()
+	}
+feed:
+	for i := range pairs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark everything not yet handed out as cancelled.
+			for j := i; j < len(pairs); j++ {
+				results[j] = PairResult{Src: pairs[j].Src, Tgt: pairs[j].Tgt, Err: ctx.Err()}
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

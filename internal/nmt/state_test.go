@@ -1,0 +1,168 @@
+package nmt
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	src, tgt := copyCorpus(rng, 30, 4, 4)
+	cfg := tinyConfig()
+	cfg.TrainSteps = 60
+	m, err := NewModel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(src, tgt); err != nil {
+		t.Fatal(err)
+	}
+
+	st := m.State()
+	if st.Config != cfg {
+		t.Fatalf("state config = %+v", st.Config)
+	}
+	// Round trip through JSON, the persistence format the framework uses.
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back State
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModel(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a := m.Translate(src[i])
+		b := m2.Translate(src[i])
+		if !equalInts(a, b) {
+			t.Fatalf("loaded model decodes differently: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := LoadModel(State{}); err == nil {
+		t.Fatal("empty state accepted")
+	}
+	cfg := tinyConfig()
+	m, err := NewModel(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.State()
+	// Missing a parameter.
+	delete(st.Weights, "enc.l0.Wx")
+	if _, err := LoadModel(st); err == nil {
+		t.Fatal("missing weights accepted")
+	}
+	// Wrong shape.
+	st = m.State()
+	st.Weights["enc.l0.Wx"] = []float64{1, 2, 3}
+	if _, err := LoadModel(st); err == nil {
+		t.Fatal("mis-shaped weights accepted")
+	}
+}
+
+// TestPaperScaleSinglePairConvergence validates the FullScale language and
+// NMT settings on a single strongly-coupled pair with the paper's exact
+// windows (word 10, sentence 20). Skipped in -short mode: it trains a real
+// 2-layer model.
+func TestPaperScaleSinglePairConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale convergence check skipped in short mode")
+	}
+	rng := rand.New(rand.NewSource(42))
+	// Source: random-walk binary sensor; target: its inverse with noise —
+	// the structure plantgen produces for in-cluster pairs.
+	const ticks = 4000
+	src := make([]string, ticks)
+	tgt := make([]string, ticks)
+	state := "a"
+	for i := 0; i < ticks; i++ {
+		if rng.Float64() < 0.05 {
+			if state == "a" {
+				state = "b"
+			} else {
+				state = "a"
+			}
+		}
+		src[i] = state
+		if state == "a" {
+			tgt[i] = "b"
+		} else {
+			tgt[i] = "a"
+		}
+		if rng.Float64() < 0.002 {
+			tgt[i] = flipTok(tgt[i])
+		}
+	}
+	srcSents, tgtSents := paperSentences(t, src), paperSentences(t, tgt)
+	n := len(srcSents) * 8 / 10
+	cfg := Config{
+		SrcVocab: 3 + 1024, TgtVocab: 3 + 1024, // capped upstream; ample here
+		Embed: 32, Hidden: 32, Layers: 2,
+		Dropout: 0.2, LearningRate: 2e-3, ClipNorm: 5,
+		TrainSteps: 800, BatchSize: 8, MaxDecodeLen: 26,
+	}
+	m, err := NewModel(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(srcSents[:n], tgtSents[:n]); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic checkpoint on the convergence trajectory measured in
+	// calibration: BLEU ~60 at 800 steps, ~72 at the paper's 1000, ~84 at
+	// 1600. 800 steps keeps this test under a minute on one core.
+	score := ScoreCorpus(m, srcSents[n:], tgtSents[n:])
+	if score < 55 {
+		t.Fatalf("paper-scale pair BLEU = %.1f, want >= 55", score)
+	}
+}
+
+// paperSentences tokenises events with the paper's plant windows into id
+// sequences using a simple two-symbol vocabulary.
+func paperSentences(t *testing.T, events []string) [][]int {
+	t.Helper()
+	chars := make([]byte, len(events))
+	for i, e := range events {
+		chars[i] = e[0]
+	}
+	vocab := map[string]int{}
+	nextID := 3
+	var sents [][]int
+	const wordLen, sentLen, sentStride = 10, 20, 20
+	words := make([]string, 0, len(chars))
+	for i := 0; i+wordLen <= len(chars); i++ {
+		words = append(words, string(chars[i:i+wordLen]))
+	}
+	for i := 0; i+sentLen <= len(words); i += sentStride {
+		sent := make([]int, sentLen)
+		for j, w := range words[i : i+sentLen] {
+			id, ok := vocab[w]
+			if !ok {
+				id = nextID
+				vocab[w] = id
+				nextID++
+			}
+			sent[j] = id
+		}
+		sents = append(sents, sent)
+	}
+	if nextID >= 1024 {
+		t.Fatalf("vocabulary overflow: %d", nextID)
+	}
+	return sents
+}
+
+func flipTok(s string) string {
+	if s == "a" {
+		return "b"
+	}
+	return "a"
+}

@@ -1,0 +1,288 @@
+package plantgen
+
+import (
+	"sort"
+	"testing"
+
+	"mdes/internal/seqio"
+	"mdes/internal/stats"
+)
+
+func smallConfig() Config {
+	cfg := Default()
+	cfg.Sensors = 32
+	cfg.Days = 6
+	cfg.MinutesPerDay = 240
+	cfg.Clusters = 4
+	cfg.Popular = 2
+	cfg.Anomalies = []AnomalySpec{{Day: 5, Severity: 1}}
+	cfg.Precursors = []int{4}
+	return cfg
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default invalid: %v", err)
+	}
+	bads := []func(*Config){
+		func(c *Config) { c.Sensors = 0 },
+		func(c *Config) { c.Days = 0 },
+		func(c *Config) { c.Clusters = 0 },
+		func(c *Config) { c.Popular = c.Sensors },
+		func(c *Config) { c.MultiStateFrac = 1.5 },
+		func(c *Config) { c.Anomalies = []AnomalySpec{{Day: 99, Severity: 1}} },
+		func(c *Config) { c.Anomalies = []AnomalySpec{{Day: 1, Severity: 2}} },
+		func(c *Config) { c.Precursors = []int{0} },
+	}
+	for i, mutate := range bads {
+		cfg := Default()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := smallConfig()
+	ds, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Sequences) != cfg.Sensors {
+		t.Fatalf("sensors = %d, want %d", len(ds.Sequences), cfg.Sensors)
+	}
+	if ds.Ticks() != cfg.Days*cfg.MinutesPerDay {
+		t.Fatalf("ticks = %d", ds.Ticks())
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("generated dataset invalid: %v", err)
+	}
+	if len(gt.Popular) != cfg.Popular {
+		t.Fatalf("popular = %v", gt.Popular)
+	}
+	if len(gt.AnomalyDays) != 1 || gt.AnomalyDays[0] != 5 {
+		t.Fatalf("anomaly days = %v", gt.AnomalyDays)
+	}
+	if len(gt.AffectedClusters[5]) != cfg.Clusters { // severity 1 affects all
+		t.Fatalf("affected clusters = %v", gt.AffectedClusters[5])
+	}
+}
+
+func TestCardinalityDistribution(t *testing.T) {
+	ds, gt, err := Generate(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cards := make([]float64, 0, len(ds.Sequences))
+	binary := 0
+	maxCard := 0
+	for _, s := range ds.Sequences {
+		if contains(gt.Constant, s.Sensor) {
+			continue // filtered before analysis anyway
+		}
+		c := s.Cardinality()
+		cards = append(cards, float64(c))
+		if c == 2 {
+			binary++
+		}
+		if c > maxCard {
+			maxCard = c
+		}
+	}
+	mean := stats.Mean(cards)
+	if mean < 1.9 || mean > 2.6 {
+		t.Fatalf("mean cardinality = %v, paper reports 2.07", mean)
+	}
+	frac := float64(binary) / float64(len(cards))
+	if frac < 0.9 {
+		t.Fatalf("binary fraction = %v, paper reports 0.976", frac)
+	}
+	if maxCard > 7 {
+		t.Fatalf("max cardinality = %d, paper reports 7", maxCard)
+	}
+}
+
+func TestConstantSensorsAreConstant(t *testing.T) {
+	ds, gt, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range gt.Constant {
+		s, ok := ds.Find(name)
+		if !ok || !s.IsConstant() {
+			t.Fatalf("sensor %q should be constant", name)
+		}
+	}
+	filtered, dropped := ds.FilterConstant()
+	if len(dropped) != len(gt.Constant) {
+		t.Fatalf("filter dropped %v, want %v", dropped, gt.Constant)
+	}
+	if len(filtered.Sequences)+len(dropped) != len(ds.Sequences) {
+		t.Fatal("filter lost sensors")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := smallConfig()
+	a, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sequences {
+		for j := range a.Sequences[i].Events {
+			if a.Sequences[i].Events[j] != b.Sequences[i].Events[j] {
+				t.Fatalf("non-deterministic at sensor %d tick %d", i, j)
+			}
+		}
+	}
+	cfg.Seed = 999
+	c, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameDataset(a, c) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+// In-cluster binary sensors must agree far more than cross-cluster ones on
+// normal days: that alignment is what the NMT models learn.
+func TestClusterCouplingOnNormalDays(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Anomalies = nil
+	cfg.Precursors = nil
+	ds, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick plain binary sensors per cluster via ground truth (rare-event
+	// sensors are mostly OFF and would trivially agree with each other).
+	byCluster := make(map[int][]seqio.Sequence)
+	for _, s := range ds.Sequences {
+		c := gt.ClusterOf[s.Sensor]
+		if c >= 0 && s.Cardinality() == 2 &&
+			!contains(gt.RareEvent, s.Sensor) && !contains(gt.MultiState, s.Sensor) {
+			byCluster[c] = append(byCluster[c], s)
+		}
+	}
+	agree := func(a, b seqio.Sequence) float64 {
+		// Max agreement across small lags and polarity, since sensors
+		// apply individual lags and inversions.
+		best := 0.0
+		for lag := -6; lag <= 6; lag++ {
+			var same int
+			var n int
+			for t := 0; t < len(a.Events); t++ {
+				u := t + lag
+				if u < 0 || u >= len(b.Events) {
+					continue
+				}
+				n++
+				if a.Events[t] == b.Events[u] {
+					same++
+				}
+			}
+			f := float64(same) / float64(n)
+			if f < 0.5 {
+				f = 1 - f // inverted sensors count as agreement
+			}
+			if f > best {
+				best = f
+			}
+		}
+		return best
+	}
+	var in, cross []float64
+	clusters := make([]int, 0, len(byCluster))
+	for c := range byCluster {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	for _, c := range clusters {
+		ss := byCluster[c]
+		for i := 1; i < len(ss); i++ {
+			in = append(in, agree(ss[0], ss[i]))
+		}
+	}
+	for i := 0; i < len(clusters); i++ {
+		for j := i + 1; j < len(clusters); j++ {
+			cross = append(cross, agree(byCluster[clusters[i]][0], byCluster[clusters[j]][0]))
+		}
+	}
+	if len(in) == 0 || len(cross) == 0 {
+		t.Skip("not enough sensors sampled")
+	}
+	if stats.Mean(in) <= stats.Mean(cross) {
+		t.Fatalf("in-cluster agreement %.3f <= cross-cluster %.3f",
+			stats.Mean(in), stats.Mean(cross))
+	}
+}
+
+// On a severity-1 anomaly day, in-cluster agreement must degrade relative to
+// a normal day — the relationship break the detector looks for.
+func TestAnomalyBreaksCoupling(t *testing.T) {
+	cfg := smallConfig()
+	ds, gt, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pair []seqio.Sequence
+	for _, s := range ds.Sequences {
+		if gt.ClusterOf[s.Sensor] == 0 && s.Cardinality() == 2 && len(pair) < 2 &&
+			!contains(gt.RareEvent, s.Sensor) && !contains(gt.MultiState, s.Sensor) {
+			pair = append(pair, s)
+		}
+	}
+	if len(pair) < 2 {
+		t.Skip("cluster 0 has too few binary sensors")
+	}
+	day := func(d int) (seqio.Sequence, seqio.Sequence) {
+		from, to := (d-1)*cfg.MinutesPerDay, d*cfg.MinutesPerDay
+		return pair[0].Slice(from, to), pair[1].Slice(from, to)
+	}
+	agreement := func(a, b seqio.Sequence) float64 {
+		var same int
+		for t := range a.Events {
+			if a.Events[t] == b.Events[t] {
+				same++
+			}
+		}
+		f := float64(same) / float64(len(a.Events))
+		if f < 0.5 {
+			f = 1 - f
+		}
+		return f
+	}
+	n1, n2 := day(2) // normal
+	a1, a2 := day(5) // anomalous (severity 1)
+	normal := agreement(n1, n2)
+	anom := agreement(a1, a2)
+	if anom >= normal-0.02 {
+		t.Fatalf("anomaly day agreement %.3f not below normal %.3f", anom, normal)
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func sameDataset(a, b *seqio.Dataset) bool {
+	for i := range a.Sequences {
+		for j := range a.Sequences[i].Events {
+			if a.Sequences[i].Events[j] != b.Sequences[i].Events[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+// Package seqio defines the multivariate discrete event sequence model the
+// whole framework consumes — {X_t^k} in the paper's notation — together with
+// CSV encoding, validation, splitting, and the per-sensor statistics
+// (cardinality, constancy) that drive sequence filtering.
+package seqio
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Sequence is one sensor's evenly-sampled categorical event sequence.
+type Sequence struct {
+	Sensor string
+	Events []string
+}
+
+// Cardinality returns the number of distinct events in the sequence.
+func (s Sequence) Cardinality() int {
+	seen := make(map[string]struct{}, 8)
+	for _, e := range s.Events {
+		seen[e] = struct{}{}
+	}
+	return len(seen)
+}
+
+// IsConstant reports whether every event is identical (or the sequence is
+// empty); such sequences carry no information and are filtered out
+// (paper §II-A1, Sequence Filtering).
+func (s Sequence) IsConstant() bool {
+	if len(s.Events) == 0 {
+		return true
+	}
+	for _, e := range s.Events[1:] {
+		if e != s.Events[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Alphabet returns the distinct events sorted alphanumerically — the order
+// used for character assignment during encryption (paper §II-A1).
+func (s Sequence) Alphabet() []string {
+	seen := make(map[string]struct{}, 8)
+	for _, e := range s.Events {
+		seen[e] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for e := range seen {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Slice returns a sub-sequence view covering ticks [from, to).
+func (s Sequence) Slice(from, to int) Sequence {
+	return Sequence{Sensor: s.Sensor, Events: s.Events[from:to]}
+}
+
+// Dataset is an aligned collection of sequences: every sequence covers the
+// same T sampling ticks.
+type Dataset struct {
+	Sequences []Sequence
+}
+
+// Errors surfaced by Dataset validation and parsing.
+var (
+	ErrEmptyDataset = errors.New("seqio: dataset has no sequences")
+	ErrRagged       = errors.New("seqio: sequences have differing lengths")
+	ErrDupSensor    = errors.New("seqio: duplicate sensor name")
+)
+
+// Validate checks alignment and sensor-name uniqueness.
+func (d *Dataset) Validate() error {
+	if len(d.Sequences) == 0 {
+		return ErrEmptyDataset
+	}
+	names := make(map[string]struct{}, len(d.Sequences))
+	t := len(d.Sequences[0].Events)
+	for _, s := range d.Sequences {
+		if len(s.Events) != t {
+			return fmt.Errorf("%w: %q has %d events, want %d", ErrRagged, s.Sensor, len(s.Events), t)
+		}
+		if _, dup := names[s.Sensor]; dup {
+			return fmt.Errorf("%w: %q", ErrDupSensor, s.Sensor)
+		}
+		names[s.Sensor] = struct{}{}
+	}
+	return nil
+}
+
+// Ticks returns T, the number of sampling ticks (0 for an empty dataset).
+func (d *Dataset) Ticks() int {
+	if len(d.Sequences) == 0 {
+		return 0
+	}
+	return len(d.Sequences[0].Events)
+}
+
+// Sensors returns the sensor names in dataset order.
+func (d *Dataset) Sensors() []string {
+	out := make([]string, len(d.Sequences))
+	for i, s := range d.Sequences {
+		out[i] = s.Sensor
+	}
+	return out
+}
+
+// Find returns the sequence for a sensor name.
+func (d *Dataset) Find(sensor string) (Sequence, bool) {
+	for _, s := range d.Sequences {
+		if s.Sensor == sensor {
+			return s, true
+		}
+	}
+	return Sequence{}, false
+}
+
+// Slice returns the dataset restricted to ticks [from, to).
+func (d *Dataset) Slice(from, to int) *Dataset {
+	out := &Dataset{Sequences: make([]Sequence, len(d.Sequences))}
+	for i, s := range d.Sequences {
+		out.Sequences[i] = s.Slice(from, to)
+	}
+	return out
+}
+
+// Split cuts the dataset into train/dev/test partitions of trainTicks and
+// devTicks ticks, with the remainder as test — the paper's 10/3/17-day split
+// for the plant dataset.
+func (d *Dataset) Split(trainTicks, devTicks int) (train, dev, test *Dataset, err error) {
+	t := d.Ticks()
+	if trainTicks <= 0 || devTicks < 0 || trainTicks+devTicks > t {
+		return nil, nil, nil, fmt.Errorf("seqio: split %d+%d exceeds %d ticks", trainTicks, devTicks, t)
+	}
+	return d.Slice(0, trainTicks),
+		d.Slice(trainTicks, trainTicks+devTicks),
+		d.Slice(trainTicks+devTicks, t),
+		nil
+}
+
+// FilterConstant returns a dataset without constant sequences and the names
+// of the discarded sensors (paper §II-A1: discarded sensors are not used in
+// online testing either).
+func (d *Dataset) FilterConstant() (*Dataset, []string) {
+	out := &Dataset{}
+	var dropped []string
+	for _, s := range d.Sequences {
+		if s.Cardinality() <= 1 {
+			dropped = append(dropped, s.Sensor)
+			continue
+		}
+		out.Sequences = append(out.Sequences, s)
+	}
+	return out, dropped
+}
+
+// WriteCSV encodes the dataset as CSV: a header of sensor names followed by
+// one row per tick.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.Sensors()); err != nil {
+		return fmt.Errorf("seqio: write header: %w", err)
+	}
+	row := make([]string, len(d.Sequences))
+	for t := 0; t < d.Ticks(); t++ {
+		for i, s := range d.Sequences {
+			row[i] = s.Events[t]
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("seqio: write row %d: %w", t, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("seqio: read header: %w", err)
+	}
+	d := &Dataset{Sequences: make([]Sequence, len(header))}
+	for i, name := range header {
+		d.Sequences[i].Sensor = name
+	}
+	for t := 0; ; t++ {
+		row, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("seqio: read row %d: %w", t, err)
+		}
+		for i, v := range row {
+			d.Sequences[i].Events = append(d.Sequences[i].Events, v)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

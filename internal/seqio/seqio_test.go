@@ -1,0 +1,176 @@
+package seqio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func seq(name string, events ...string) Sequence {
+	return Sequence{Sensor: name, Events: events}
+}
+
+func TestCardinalityAndConstant(t *testing.T) {
+	cases := []struct {
+		s        Sequence
+		card     int
+		constant bool
+	}{
+		{seq("a"), 0, true},
+		{seq("a", "on"), 1, true},
+		{seq("a", "on", "on", "on"), 1, true},
+		{seq("a", "on", "off"), 2, false},
+		{seq("a", "1", "2", "3", "2"), 3, false},
+	}
+	for _, tc := range cases {
+		if got := tc.s.Cardinality(); got != tc.card {
+			t.Errorf("Cardinality(%v) = %d, want %d", tc.s.Events, got, tc.card)
+		}
+		if got := tc.s.IsConstant(); got != tc.constant {
+			t.Errorf("IsConstant(%v) = %v, want %v", tc.s.Events, got, tc.constant)
+		}
+	}
+}
+
+func TestAlphabetSorted(t *testing.T) {
+	s := seq("a", "off", "on", "off", "mid")
+	got := s.Alphabet()
+	want := []string{"mid", "off", "on"}
+	if len(got) != len(want) {
+		t.Fatalf("Alphabet = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Alphabet = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := &Dataset{}
+	if !errors.Is(d.Validate(), ErrEmptyDataset) {
+		t.Fatal("empty dataset must fail validation")
+	}
+	d = &Dataset{Sequences: []Sequence{seq("a", "1", "2"), seq("b", "1")}}
+	if !errors.Is(d.Validate(), ErrRagged) {
+		t.Fatal("ragged dataset must fail validation")
+	}
+	d = &Dataset{Sequences: []Sequence{seq("a", "1"), seq("a", "2")}}
+	if !errors.Is(d.Validate(), ErrDupSensor) {
+		t.Fatal("duplicate sensors must fail validation")
+	}
+	d = &Dataset{Sequences: []Sequence{seq("a", "1"), seq("b", "2")}}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := &Dataset{Sequences: []Sequence{
+		seq("a", "1", "2", "3", "4", "5", "6"),
+		seq("b", "x", "y", "z", "x", "y", "z"),
+	}}
+	train, dev, test, err := d.Split(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Ticks() != 3 || dev.Ticks() != 2 || test.Ticks() != 1 {
+		t.Fatalf("split ticks = %d/%d/%d", train.Ticks(), dev.Ticks(), test.Ticks())
+	}
+	if dev.Sequences[0].Events[0] != "4" || test.Sequences[1].Events[0] != "z" {
+		t.Fatal("split boundaries wrong")
+	}
+	if _, _, _, err := d.Split(5, 2); err == nil {
+		t.Fatal("oversized split must error")
+	}
+	if _, _, _, err := d.Split(0, 1); err == nil {
+		t.Fatal("zero train split must error")
+	}
+}
+
+func TestFilterConstant(t *testing.T) {
+	d := &Dataset{Sequences: []Sequence{
+		seq("keep", "on", "off", "on"),
+		seq("drop", "on", "on", "on"),
+		seq("keep2", "1", "2", "1"),
+	}}
+	filtered, dropped := d.FilterConstant()
+	if len(filtered.Sequences) != 2 || len(dropped) != 1 || dropped[0] != "drop" {
+		t.Fatalf("FilterConstant = %v dropped %v", filtered.Sensors(), dropped)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := &Dataset{Sequences: []Sequence{
+		seq("s1", "on", "off", "on"),
+		seq("s2", "status 1", "status 2", "status 1"), // embedded space survives CSV
+	}}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ticks() != 3 || len(back.Sequences) != 2 {
+		t.Fatalf("round trip shape %d sensors × %d ticks", len(back.Sequences), back.Ticks())
+	}
+	for i, s := range d.Sequences {
+		for j, e := range s.Events {
+			if back.Sequences[i].Events[j] != e {
+				t.Fatalf("round trip mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Fatal("short row must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,a\n1,2\n")); err == nil {
+		t.Fatal("duplicate header must error")
+	}
+}
+
+func TestFindAndSensors(t *testing.T) {
+	d := &Dataset{Sequences: []Sequence{seq("x", "1"), seq("y", "2")}}
+	if s, ok := d.Find("y"); !ok || s.Events[0] != "2" {
+		t.Fatalf("Find(y) = %v %v", s, ok)
+	}
+	if _, ok := d.Find("zzz"); ok {
+		t.Fatal("Find of missing sensor must report false")
+	}
+	names := d.Sensors()
+	if names[0] != "x" || names[1] != "y" {
+		t.Fatalf("Sensors = %v", names)
+	}
+}
+
+// Property: any split re-concatenates to the original ticks.
+func TestSplitPreservesTicksQuick(t *testing.T) {
+	f := func(trainRaw, devRaw uint8) bool {
+		total := 30
+		events := make([]string, total)
+		for i := range events {
+			events[i] = string(rune('a' + i%3))
+		}
+		d := &Dataset{Sequences: []Sequence{{Sensor: "s", Events: events}}}
+		trainN := int(trainRaw)%20 + 1
+		devN := int(devRaw) % 10
+		train, dev, test, err := d.Split(trainN, devN)
+		if err != nil {
+			return trainN+devN > total
+		}
+		return train.Ticks()+dev.Ticks()+test.Ticks() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package stats provides the descriptive statistics the experiment harness
+// reports: empirical CDFs, fixed-bin histograms, percentiles, and summary
+// statistics, plus compact ASCII renderings used to "plot" the paper's
+// figures in terminal output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF copies and sorts the sample.
+func NewECDF(sample []float64) *ECDF {
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th sample quantile (q in [0,1], nearest-rank).
+func (e *ECDF) Quantile(q float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(e.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return e.sorted[rank]
+}
+
+// Len returns the sample size.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Min returns the smallest sample value (NaN when empty).
+func (e *ECDF) Min() float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	return e.sorted[0]
+}
+
+// Max returns the largest sample value (NaN when empty).
+func (e *ECDF) Max() float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	return e.sorted[len(e.sorted)-1]
+}
+
+// Points samples the ECDF at n evenly spaced x positions across the sample
+// range, returning (x, P(X<=x)) pairs — the series a CDF plot draws.
+func (e *ECDF) Points(n int) [][2]float64 {
+	if len(e.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := e.Min(), e.Max()
+	if lo == hi {
+		return [][2]float64{{lo, 1}}
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		out = append(out, [2]float64{x, e.At(x)})
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of a sample without
+// constructing an ECDF.
+func Percentile(sample []float64, p float64) float64 {
+	return NewECDF(sample).Quantile(p / 100)
+}
+
+// Mean returns the arithmetic mean (NaN when empty).
+func Mean(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range sample {
+		s += v
+	}
+	return s / float64(len(sample))
+}
+
+// StdDev returns the population standard deviation (NaN when empty).
+func StdDev(sample []float64) float64 {
+	if len(sample) == 0 {
+		return math.NaN()
+	}
+	m := Mean(sample)
+	var s float64
+	for _, v := range sample {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(sample)))
+}
+
+// Histogram is a fixed-width binning of a sample over [Lo, Hi].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram bins a sample into `bins` equal-width bins over [lo, hi];
+// values outside the range are clamped into the edge bins.
+func NewHistogram(sample []float64, lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 1
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	if hi <= lo {
+		return h
+	}
+	width := (hi - lo) / float64(bins)
+	for _, v := range sample {
+		i := int((v - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+		h.Total++
+	}
+	return h
+}
+
+// Fraction returns the share of the sample in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// BinLabel renders bin i's interval.
+func (h *Histogram) BinLabel(i int) string {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	lo := h.Lo + float64(i)*width
+	return fmt.Sprintf("[%.0f, %.0f)", lo, lo+width)
+}
+
+// ASCIIBars renders the histogram as horizontal bars of at most width chars.
+func (h *Histogram) ASCIIBars(width int) string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		fmt.Fprintf(&sb, "%12s |%s %d (%.1f%%)\n",
+			h.BinLabel(i), strings.Repeat("#", bar), c, 100*h.Fraction(i))
+	}
+	return sb.String()
+}
+
+// ASCIICDF renders (x, p) CDF points as a compact sparkline table.
+func ASCIICDF(points [][2]float64, width int) string {
+	var sb strings.Builder
+	for _, pt := range points {
+		bar := int(pt[1] * float64(width))
+		fmt.Fprintf(&sb, "%10.2f |%s %.2f\n", pt[0], strings.Repeat("#", bar), pt[1])
+	}
+	return sb.String()
+}
+
+// ASCIISeries renders a y-series (e.g. anomaly scores over time) as one bar
+// per point, annotating marked indices — used for Fig 8-style timelines.
+func ASCIISeries(ys []float64, width int, marks map[int]string) string {
+	var maxY float64 = 1
+	for _, y := range ys {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	var sb strings.Builder
+	for i, y := range ys {
+		bar := int(y / maxY * float64(width))
+		note := ""
+		if m, ok := marks[i]; ok {
+			note = "  <-- " + m
+		}
+		fmt.Fprintf(&sb, "%4d |%s %.3f%s\n", i, strings.Repeat("#", bar), y, note)
+	}
+	return sb.String()
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 2})
+	if e.Len() != 4 || e.Min() != 1 || e.Max() != 3 {
+		t.Fatalf("ECDF summary = %d/%v/%v", e.Len(), e.Min(), e.Max())
+	}
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, tc := range cases {
+		if got := e.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	e := NewECDF(nil)
+	if e.At(1) != 0 {
+		t.Fatal("empty ECDF At must be 0")
+	}
+	if !math.IsNaN(e.Quantile(0.5)) || !math.IsNaN(e.Min()) || !math.IsNaN(e.Max()) {
+		t.Fatal("empty ECDF summaries must be NaN")
+	}
+	if e.Points(5) != nil {
+		t.Fatal("empty ECDF Points must be nil")
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40, 50})
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 10}, {0.2, 10}, {0.21, 20}, {0.5, 30}, {0.8, 40}, {1, 50},
+	}
+	for _, tc := range cases {
+		if got := e.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileMeanStdDev(t *testing.T) {
+	sample := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(sample); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(sample); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := Percentile(sample, 50); got != 4 {
+		t.Fatalf("P50 = %v, want 4", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev(nil)) {
+		t.Fatal("empty sample summaries must be NaN")
+	}
+}
+
+func TestECDFPointsMonotone(t *testing.T) {
+	e := NewECDF([]float64{1, 5, 2, 8, 3})
+	pts := e.Points(10)
+	if len(pts) != 10 {
+		t.Fatalf("Points len = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][1] < pts[i-1][1] || pts[i][0] < pts[i-1][0] {
+			t.Fatal("CDF points must be monotone")
+		}
+	}
+	if pts[len(pts)-1][1] != 1 {
+		t.Fatalf("final CDF point = %v, want 1", pts[len(pts)-1][1])
+	}
+	// Degenerate single-value sample.
+	if pts := NewECDF([]float64{7, 7}).Points(4); len(pts) != 1 || pts[0][1] != 1 {
+		t.Fatalf("constant-sample Points = %v", pts)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{5, 15, 15, 25, 105, -10}, 0, 100, 10)
+	if h.Total != 6 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	if h.Counts[0] != 2 { // 5 and clamped -10
+		t.Fatalf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 2 || h.Counts[2] != 1 {
+		t.Fatalf("bins = %v", h.Counts)
+	}
+	if h.Counts[9] != 1 { // clamped 105
+		t.Fatalf("top bin = %d", h.Counts[9])
+	}
+	if math.Abs(h.Fraction(0)-2.0/6.0) > 1e-12 {
+		t.Fatalf("Fraction(0) = %v", h.Fraction(0))
+	}
+	if h.BinLabel(0) != "[0, 10)" {
+		t.Fatalf("BinLabel = %q", h.BinLabel(0))
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{1, 2}, 5, 5, 4)
+	if h.Total != 0 {
+		t.Fatal("inverted range histogram must stay empty")
+	}
+	h2 := NewHistogram([]float64{1}, 0, 10, 0)
+	if len(h2.Counts) != 1 {
+		t.Fatal("bins<=0 must clamp to 1")
+	}
+	if h.Fraction(0) != 0 {
+		t.Fatal("empty histogram Fraction must be 0")
+	}
+}
+
+func TestASCIIRenderings(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 9}, 0, 10, 2)
+	bars := h.ASCIIBars(10)
+	if !strings.Contains(bars, "##########") || !strings.Contains(bars, "66.7%") {
+		t.Fatalf("ASCIIBars:\n%s", bars)
+	}
+	cdf := ASCIICDF([][2]float64{{0, 0.5}, {1, 1}}, 4)
+	if !strings.Contains(cdf, "####") {
+		t.Fatalf("ASCIICDF:\n%s", cdf)
+	}
+	series := ASCIISeries([]float64{0.2, 0.9}, 10, map[int]string{1: "anomaly"})
+	if !strings.Contains(series, "anomaly") {
+		t.Fatalf("ASCIISeries:\n%s", series)
+	}
+}
+
+// Property: At is a CDF — monotone, 0 below min, 1 at max.
+func TestECDFPropertyQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sample := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				// Keep magnitudes where x-1 is representably below x.
+				sample = append(sample, math.Mod(v, 1e9))
+			}
+		}
+		if len(sample) == 0 {
+			return true
+		}
+		e := NewECDF(sample)
+		sorted := append([]float64(nil), sample...)
+		sort.Float64s(sorted)
+		if e.At(sorted[0]-1) != 0 || e.At(sorted[len(sorted)-1]) != 1 {
+			return false
+		}
+		prev := -1.0
+		for _, v := range sorted {
+			p := e.At(v)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package svgplot renders the small set of chart types the paper's figures
+// need — line charts (CDFs, anomaly-score timelines) and bar charts
+// (histograms) — as self-contained SVG documents, with optional vertical
+// annotation lines for marking anomaly days. No dependencies, deterministic
+// output.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// VLine is a vertical annotation line (e.g. an anomaly day).
+type VLine struct {
+	X     float64
+	Label string
+}
+
+// palette cycles through visually distinct stroke colours.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"}
+
+const (
+	marginLeft   = 60.0
+	marginRight  = 20.0
+	marginTop    = 40.0
+	marginBottom = 45.0
+)
+
+// Line renders a multi-series line chart.
+func Line(title, xLabel, yLabel string, series []Series, marks []VLine, width, height int) string {
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 360
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	for _, m := range marks {
+		minX = math.Min(minX, m.X)
+		maxX = math.Max(maxX, m.X)
+	}
+	if math.IsInf(minX, 1) { // no data at all
+		minX, maxX, minY, maxY = 0, 1, 0, 1
+	}
+	if minY > 0 {
+		minY = 0 // anchor magnitude axes at zero for honest proportions
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return marginTop + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var sb strings.Builder
+	header(&sb, width, height, title)
+	axes(&sb, width, height, xLabel, yLabel, minX, maxX, minY, maxY, px, py)
+
+	for _, m := range marks {
+		x := px(m.X)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d62728" stroke-dasharray="4,3"/>`+"\n",
+			x, marginTop, x, marginTop+plotH)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" fill="#d62728" transform="rotate(-90 %.1f %.1f)">%s</text>`+"\n",
+			x-3, marginTop+12, x-3, marginTop+12, escape(m.Label))
+	}
+
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		// Legend entry.
+		ly := marginTop + 14*float64(si)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			marginLeft+plotW-110, ly, marginLeft+plotW-90, ly, color)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n",
+			marginLeft+plotW-85, ly+4, escape(s.Name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// Bars renders a labelled bar chart.
+func Bars(title, yLabel string, labels []string, values []float64, width, height int) string {
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 360
+	}
+	maxY := 0.0
+	for _, v := range values {
+		maxY = math.Max(maxY, v)
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+
+	var sb strings.Builder
+	header(&sb, width, height, title)
+	// Y axis with ticks.
+	fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	for i := 0; i <= 4; i++ {
+		v := maxY * float64(i) / 4
+		y := marginTop + plotH - v/maxY*plotH
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-5, y+3, trimFloat(v))
+	}
+	fmt.Fprintf(&sb, `<text x="12" y="%.1f" font-size="11" transform="rotate(-90 12 %.1f)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(yLabel))
+
+	n := len(values)
+	if n == 0 {
+		sb.WriteString("</svg>\n")
+		return sb.String()
+	}
+	slot := plotW / float64(n)
+	barW := slot * 0.7
+	for i, v := range values {
+		x := marginLeft + float64(i)*slot + (slot-barW)/2
+		h := v / maxY * plotH
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+			x, marginTop+plotH-h, barW, h, palette[0])
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			x+barW/2, marginTop+plotH+14, escape(labels[i]))
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="9" text-anchor="middle">%s</text>`+"\n",
+			x+barW/2, marginTop+plotH-h-3, trimFloat(v))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func header(sb *strings.Builder, width, height int, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(sb, `<text x="%d" y="20" font-size="14" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+		width/2, escape(title))
+}
+
+func axes(sb *strings.Builder, width, height int, xLabel, yLabel string,
+	minX, maxX, minY, maxY float64, px, py func(float64) float64) {
+	plotH := float64(height) - marginTop - marginBottom
+	plotW := float64(width) - marginLeft - marginRight
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+plotH)
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		yv := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(xv), marginTop+plotH+14, trimFloat(xv))
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginLeft-5, py(yv)+3, trimFloat(yv))
+	}
+	fmt.Fprintf(sb, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		marginLeft+plotW/2, height-8, escape(xLabel))
+	fmt.Fprintf(sb, `<text x="12" y="%.1f" font-size="11" transform="rotate(-90 12 %.1f)">%s</text>`+"\n",
+		marginTop+plotH/2, marginTop+plotH/2, escape(yLabel))
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,99 @@
+package svgplot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestLineChartWellFormed(t *testing.T) {
+	svg := Line("Anomaly scores", "time", "a_t",
+		[]Series{
+			{Name: "[80,90)", X: []float64{0, 1, 2, 3}, Y: []float64{0.1, 0.2, 0.9, 0.8}},
+			{Name: "[90,100]", X: []float64{0, 1, 2, 3}, Y: []float64{0.1, 0.1, 0.15, 0.1}},
+		},
+		[]VLine{{X: 2, Label: "anomaly day"}},
+		640, 360)
+	mustBeValidXML(t, svg)
+	for _, want := range []string{"<svg", "polyline", "Anomaly scores", "anomaly day", "[80,90)"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series -> two polylines.
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("polylines = %d", strings.Count(svg, "<polyline"))
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	// Empty series and constant values must not produce NaN coordinates.
+	svg := Line("empty", "x", "y", nil, nil, 0, 0)
+	mustBeValidXML(t, svg)
+	svg = Line("flat", "x", "y", []Series{{Name: "s", X: []float64{1, 1}, Y: []float64{2, 2}}}, nil, 300, 200)
+	mustBeValidXML(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN coordinates in SVG")
+	}
+}
+
+func TestBarsWellFormed(t *testing.T) {
+	svg := Bars("BLEU histogram", "count",
+		[]string{"[0,20)", "[20,40)", "[40,60)", "[60,80)", "[80,100]"},
+		[]float64{3, 5, 8, 12, 4}, 640, 360)
+	mustBeValidXML(t, svg)
+	if strings.Count(svg, "<rect") != 6 { // background + 5 bars
+		t.Fatalf("rects = %d", strings.Count(svg, "<rect"))
+	}
+	if !strings.Contains(svg, "[60,80)") {
+		t.Fatal("bar label missing")
+	}
+}
+
+func TestBarsEmptyAndZero(t *testing.T) {
+	mustBeValidXML(t, Bars("empty", "y", nil, nil, 0, 0))
+	svg := Bars("zeros", "y", []string{"a"}, []float64{0}, 300, 200)
+	mustBeValidXML(t, svg)
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN in zero-value chart")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	svg := Line(`<&"title">`, "x", "y",
+		[]Series{{Name: "a<b", X: []float64{0, 1}, Y: []float64{0, 1}}}, nil, 300, 200)
+	mustBeValidXML(t, svg)
+	if strings.Contains(svg, "<&") {
+		t.Fatal("unescaped markup leaked into SVG")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:      "1",
+		0.5:    "0.5",
+		0.25:   "0.25",
+		100:    "100",
+		0.3333: "0.33",
+	}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// mustBeValidXML parses the SVG to catch unbalanced tags or bad attributes.
+func mustBeValidXML(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, svg)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package mdes implements the analytics framework of "Mining Multivariate
+// Discrete Event Sequences for Knowledge Discovery and Anomaly Detection"
+// (Nie et al., DSN 2020): discrete event sequences from many sensors are
+// turned into per-sensor "languages", a neural machine translation model is
+// trained for every ordered sensor pair, the resulting BLEU scores form a
+// multivariate relationship graph used for knowledge discovery (popular
+// sensors, component clusters), and broken pairwise relationships at test
+// time yield anomaly scores and fault diagnoses.
+//
+// Typical usage:
+//
+//	fw, _ := mdes.New(mdes.DefaultConfig())
+//	model, _ := fw.Train(ctx, trainSet, devSet)
+//	points, _ := model.Detect(ctx, testSet)
+//
+// The heavy lifting lives in internal packages (lang, nmt, bleu, graph,
+// community, anomaly); this package wires them together and re-exports the
+// types a downstream user needs.
+package mdes
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"mdes/internal/anomaly"
+	"mdes/internal/graph"
+	"mdes/internal/lang"
+	"mdes/internal/nmt"
+	"mdes/internal/seqio"
+)
+
+// Re-exported types, so downstream users rarely need the internal packages.
+type (
+	// Sequence is one sensor's discrete event sequence.
+	Sequence = seqio.Sequence
+	// Dataset is an aligned multivariate collection of sequences.
+	Dataset = seqio.Dataset
+	// Range is a BLEU score band such as the paper's [80, 90).
+	Range = graph.Range
+	// Graph is the multivariate relationship graph.
+	Graph = graph.Graph
+	// Point is one timestamp's detection output (anomaly score a_t, alert
+	// status W_t).
+	Point = anomaly.Point
+	// Alert is one broken pairwise relationship.
+	Alert = anomaly.Alert
+	// Diagnosis attributes an anomaly to sensor clusters.
+	Diagnosis = anomaly.Diagnosis
+	// LanguageConfig controls word and sentence generation.
+	LanguageConfig = lang.Config
+	// NMTConfig controls the pairwise translation models.
+	NMTConfig = nmt.Config
+)
+
+// Config assembles the framework's tunables.
+type Config struct {
+	// Language controls sensor-language generation (word/sentence windows).
+	Language LanguageConfig
+	// NMT controls the pairwise seq2seq models; vocabulary sizes are
+	// filled per pair automatically.
+	NMT NMTConfig
+	// ValidRange selects which trained relationships count as valid
+	// models for detection (paper: [80, 90) works best).
+	ValidRange Range
+	// PopularInDegree is the in-degree threshold marking popular sensors
+	// (paper: 100 for the 128-sensor plant). Scale it with sensor count.
+	PopularInDegree int
+	// Workers bounds parallel pair training; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Seed makes the whole pipeline reproducible.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's settings with NMT sizes scaled for
+// pure-Go sweeps (§III-A: word length 10, stride 1; sentence length 20,
+// stride 20; NMT 2 layers with dropout 0.2; valid range [80, 90)).
+func DefaultConfig() Config {
+	return Config{
+		Language:        lang.PlantConfig(),
+		NMT:             nmt.DefaultConfig(),
+		ValidRange:      graph.BestRange(),
+		PopularInDegree: 100,
+		Seed:            1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Language.Validate(); err != nil {
+		return err
+	}
+	// NMT vocab sizes are per-pair; validate the rest using placeholders.
+	probe := c.NMT
+	probe.SrcVocab, probe.TgtVocab = 3, 3
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	if c.PopularInDegree < 0 {
+		return fmt.Errorf("mdes: popular in-degree %d negative", c.PopularInDegree)
+	}
+	return nil
+}
+
+// Framework trains models from datasets.
+type Framework struct {
+	cfg Config
+}
+
+// New constructs a framework after validating the configuration.
+func New(cfg Config) (*Framework, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Framework{cfg: cfg}, nil
+}
+
+// Errors surfaced by training.
+var (
+	ErrTooFewSensors = errors.New("mdes: need at least two non-constant sensors")
+	ErrMisaligned    = errors.New("mdes: train and dev datasets disagree on sensors")
+)
+
+// PairRuntime records one pair model's wall-clock cost (Fig 4(a)).
+type PairRuntime struct {
+	Src, Tgt string
+	Runtime  time.Duration
+}
+
+// Model is the trained framework state: the relationship graph, the
+// per-sensor languages, and the per-pair NMT models.
+type Model struct {
+	cfg       Config
+	graph     *graph.Graph
+	languages map[string]*lang.Language
+	pairs     map[[2]string]*nmt.Model
+	dropped   []string
+	runtimes  []PairRuntime
+}
+
+// Train runs the offline phase (Algorithm 1): sequence filtering, language
+// construction from the training split, pairwise NMT training, and dev-split
+// BLEU scoring into the multivariate relationship graph.
+func (f *Framework) Train(ctx context.Context, train, dev *seqio.Dataset) (*Model, error) {
+	if err := train.Validate(); err != nil {
+		return nil, fmt.Errorf("mdes: train set: %w", err)
+	}
+	if err := dev.Validate(); err != nil {
+		return nil, fmt.Errorf("mdes: dev set: %w", err)
+	}
+	filtered, dropped := train.FilterConstant()
+	if len(filtered.Sequences) < 2 {
+		return nil, ErrTooFewSensors
+	}
+
+	m := &Model{
+		cfg:       f.cfg,
+		graph:     graph.New(),
+		languages: make(map[string]*lang.Language, len(filtered.Sequences)),
+		pairs:     make(map[[2]string]*nmt.Model),
+		dropped:   dropped,
+	}
+
+	// Build per-sensor languages and encode both splits.
+	trainSents := make(map[string][][]int, len(filtered.Sequences))
+	devSents := make(map[string][][]int, len(filtered.Sequences))
+	for _, seq := range filtered.Sequences {
+		l, err := lang.Build(seq, f.cfg.Language)
+		if err != nil {
+			return nil, fmt.Errorf("mdes: sensor %q: %w", seq.Sensor, err)
+		}
+		devSeq, ok := dev.Find(seq.Sensor)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q missing from dev", ErrMisaligned, seq.Sensor)
+		}
+		ts, err := l.SentencesFor(seq)
+		if err != nil {
+			return nil, fmt.Errorf("mdes: sensor %q train sentences: %w", seq.Sensor, err)
+		}
+		ds, err := l.SentencesFor(devSeq)
+		if err != nil {
+			return nil, fmt.Errorf("mdes: sensor %q dev sentences: %w", seq.Sensor, err)
+		}
+		m.languages[seq.Sensor] = l
+		trainSents[seq.Sensor] = ts
+		devSents[seq.Sensor] = ds
+	}
+
+	// All ordered pairs.
+	sensors := filtered.Sensors()
+	pairs := make([]nmt.PairData, 0, len(sensors)*(len(sensors)-1))
+	for _, src := range sensors {
+		for _, tgt := range sensors {
+			if src == tgt {
+				continue
+			}
+			pairs = append(pairs, nmt.PairData{
+				Src: src, Tgt: tgt,
+				TrainSrc: trainSents[src], TrainTgt: trainSents[tgt],
+				DevSrc: devSents[src], DevTgt: devSents[tgt],
+				SrcVocab: m.languages[src].Vocab.Size(),
+				TgtVocab: m.languages[tgt].Vocab.Size(),
+			})
+		}
+	}
+
+	results := nmt.TrainPairs(ctx, f.cfg.NMT, pairs, f.cfg.Workers, f.cfg.Seed)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("mdes: pair %s->%s: %w", r.Src, r.Tgt, r.Err)
+		}
+		if err := m.graph.AddEdgeChecked(r.Src, r.Tgt, r.BLEU); err != nil {
+			return nil, err
+		}
+		m.pairs[[2]string{r.Src, r.Tgt}] = r.Model
+		m.runtimes = append(m.runtimes, PairRuntime{Src: r.Src, Tgt: r.Tgt, Runtime: r.Runtime})
+	}
+	return m, nil
+}

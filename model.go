@@ -1,0 +1,303 @@
+package mdes
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"mdes/internal/anomaly"
+	"mdes/internal/community"
+	"mdes/internal/graph"
+	"mdes/internal/lang"
+	"mdes/internal/nmt"
+	"mdes/internal/seqio"
+)
+
+// Graph returns the multivariate relationship graph.
+func (m *Model) Graph() *graph.Graph { return m.graph }
+
+// Config returns the configuration the model was trained with.
+func (m *Model) Config() Config { return m.cfg }
+
+// DroppedSensors lists the constant sensors removed by sequence filtering.
+func (m *Model) DroppedSensors() []string { return append([]string(nil), m.dropped...) }
+
+// Sensors lists the modelled (non-constant) sensors.
+func (m *Model) Sensors() []string { return m.graph.Nodes() }
+
+// PairRuntimes reports per-pair training+scoring wall-clock times (Fig 4(a)).
+func (m *Model) PairRuntimes() []PairRuntime {
+	return append([]PairRuntime(nil), m.runtimes...)
+}
+
+// VocabularySizes reports each sensor's vocabulary size (Fig 3(b)).
+func (m *Model) VocabularySizes() map[string]int {
+	out := make(map[string]int, len(m.languages))
+	for name, l := range m.languages {
+		out[name] = l.VocabularySize()
+	}
+	return out
+}
+
+// GlobalSubgraph returns the global subgraph for a BLEU band (§III-B1).
+func (m *Model) GlobalSubgraph(r Range) *graph.Graph { return m.graph.Subgraph(r) }
+
+// PopularSensors returns the popular sensors of a band's global subgraph
+// using the configured in-degree threshold.
+func (m *Model) PopularSensors(r Range) []string {
+	return m.graph.Subgraph(r).PopularSensors(m.cfg.PopularInDegree)
+}
+
+// LocalSubgraph removes the popular sensors from a band's global subgraph
+// (§III-B2).
+func (m *Model) LocalSubgraph(r Range) *graph.Graph {
+	return m.graph.LocalSubgraph(r, m.cfg.PopularInDegree)
+}
+
+// Communities clusters the local subgraph of a band with random-walk
+// community detection (Pons & Latapy), returning sensor clusters that map to
+// system components.
+func (m *Model) Communities(r Range) community.Result {
+	return community.Walktrap(m.LocalSubgraph(r), community.DefaultSteps)
+}
+
+// Detector builds the Algorithm 2 detector over the configured valid range.
+func (m *Model) Detector() *anomaly.Detector {
+	return anomaly.NewDetector(m.graph, m.cfg.ValidRange)
+}
+
+// DetectorFor builds an Algorithm 2 detector over an arbitrary valid band.
+func (m *Model) DetectorFor(r Range) *anomaly.Detector {
+	return anomaly.NewDetector(m.graph, r)
+}
+
+// TestScores computes the f(i,j) matrix for a test dataset: for each
+// timestamp (sentence index) and each valid relationship, the smoothed
+// sentence BLEU of the model's translation against the observed target
+// sentence. Rows are timestamps, columns follow Detector().Relationships().
+func (m *Model) TestScores(ctx context.Context, test *seqio.Dataset) ([][]float64, error) {
+	return m.testScores(ctx, test, m.Detector())
+}
+
+func (m *Model) testScores(ctx context.Context, test *seqio.Dataset, det *anomaly.Detector) ([][]float64, error) {
+	rels := det.Relationships()
+	sents, err := m.encodeAll(test)
+	if err != nil {
+		return nil, err
+	}
+	// All sensors are aligned, so any sensor's sentence count works.
+	var steps int
+	for _, s := range sents {
+		steps = len(s)
+		break
+	}
+
+	scores := make([][]float64, steps)
+	for t := range scores {
+		scores[t] = make([]float64, len(rels))
+	}
+
+	workers := m.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(rels) {
+		workers = len(rels)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range jobs {
+				if ctx.Err() != nil {
+					setErr(ctx.Err())
+					continue
+				}
+				rel := rels[k]
+				model := m.pairs[[2]string{rel.Src, rel.Tgt}]
+				if model == nil {
+					setErr(fmt.Errorf("mdes: no model for valid pair %s->%s", rel.Src, rel.Tgt))
+					continue
+				}
+				src, tgt := sents[rel.Src], sents[rel.Tgt]
+				for t := 0; t < steps; t++ {
+					scores[t][k] = nmt.ScoreSentence(model, src[t], tgt[t])
+				}
+			}
+		}()
+	}
+	for k := range rels {
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return scores, nil
+}
+
+// Detect runs online anomaly detection (Algorithm 2) over a test dataset,
+// returning one Point per sentence timestamp.
+func (m *Model) Detect(ctx context.Context, test *seqio.Dataset) ([]Point, error) {
+	return m.DetectWithRange(ctx, test, m.cfg.ValidRange)
+}
+
+// DetectWithRange runs Algorithm 2 with an alternative valid band — used to
+// compare bands as in the paper's Fig 8.
+func (m *Model) DetectWithRange(ctx context.Context, test *seqio.Dataset, r Range) ([]Point, error) {
+	det := m.DetectorFor(r)
+	scores, err := m.testScores(ctx, test, det)
+	if err != nil {
+		return nil, err
+	}
+	return det.Evaluate(scores)
+}
+
+// Diagnose attributes one detected anomaly to clusters of the valid-range
+// local subgraph (Fig 9).
+func (m *Model) Diagnose(p Point) Diagnosis {
+	comms := m.Communities(m.cfg.ValidRange)
+	return anomaly.Diagnose(m.LocalSubgraph(m.cfg.ValidRange), comms.Communities, p.Broken)
+}
+
+// encodeAll converts each modelled sensor's test sequence into encoded
+// sentences using its trained language; unknown events become <unk>.
+func (m *Model) encodeAll(test *seqio.Dataset) (map[string][][]int, error) {
+	if err := test.Validate(); err != nil {
+		return nil, fmt.Errorf("mdes: test set: %w", err)
+	}
+	out := make(map[string][][]int, len(m.languages))
+	for name, l := range m.languages {
+		seq, ok := test.Find(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q missing from test", ErrMisaligned, name)
+		}
+		sents, err := l.SentencesFor(seq)
+		if err != nil {
+			return nil, fmt.Errorf("mdes: sensor %q test sentences: %w", name, err)
+		}
+		out[name] = sents
+	}
+	return out, nil
+}
+
+// persistedModel is the JSON wire format of a trained model.
+type persistedModel struct {
+	Config    Config                   `json:"config"`
+	Dropped   []string                 `json:"dropped,omitempty"`
+	Languages map[string]persistedLang `json:"languages"`
+	Edges     []graph.Edge             `json:"edges"`
+	Pairs     map[string]nmt.State     `json:"pairs"`
+	Runtimes  []PairRuntime            `json:"runtimes,omitempty"`
+}
+
+type persistedLang struct {
+	Sensor   string      `json:"sensor"`
+	Alphabet []string    `json:"alphabet"`
+	Words    []string    `json:"words"` // vocabulary words in id order (reserved excluded)
+	Config   lang.Config `json:"config"`
+}
+
+// Save serialises the model (graph, languages, NMT weights) as JSON.
+func (m *Model) Save(w io.Writer) error {
+	p := persistedModel{
+		Config:    m.cfg,
+		Dropped:   m.dropped,
+		Languages: make(map[string]persistedLang, len(m.languages)),
+		Edges:     m.graph.Edges(),
+		Pairs:     make(map[string]nmt.State, len(m.pairs)),
+		Runtimes:  m.runtimes,
+	}
+	for name, l := range m.languages {
+		words := make([]string, 0, l.Vocab.WordCount())
+		for id := 3; id < l.Vocab.Size(); id++ {
+			words = append(words, l.Vocab.Word(id))
+		}
+		p.Languages[name] = persistedLang{
+			Sensor: l.Sensor, Alphabet: l.Alphabet, Words: words, Config: l.Config,
+		}
+	}
+	for key, model := range m.pairs {
+		p.Pairs[key[0]+"\x1f"+key[1]] = model.State()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(p)
+}
+
+// Load reconstructs a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var p persistedModel
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("mdes: decode model: %w", err)
+	}
+	m := &Model{
+		cfg:       p.Config,
+		graph:     graph.New(),
+		languages: make(map[string]*lang.Language, len(p.Languages)),
+		pairs:     make(map[[2]string]*nmt.Model, len(p.Pairs)),
+		dropped:   p.Dropped,
+		runtimes:  p.Runtimes,
+	}
+	for name, pl := range p.Languages {
+		m.languages[name] = &lang.Language{
+			Sensor:   pl.Sensor,
+			Alphabet: pl.Alphabet,
+			Vocab:    lang.VocabFromWords(pl.Words),
+			Config:   pl.Config,
+		}
+	}
+	for _, e := range p.Edges {
+		if err := m.graph.AddEdgeChecked(e.Src, e.Tgt, e.Score); err != nil {
+			return nil, err
+		}
+	}
+	for key, st := range p.Pairs {
+		var src, tgt string
+		for i := 0; i < len(key); i++ {
+			if key[i] == '\x1f' {
+				src, tgt = key[:i], key[i+1:]
+				break
+			}
+		}
+		if src == "" && tgt == "" {
+			return nil, fmt.Errorf("mdes: malformed pair key %q", key)
+		}
+		model, err := nmt.LoadModel(st)
+		if err != nil {
+			return nil, fmt.Errorf("mdes: pair %s->%s: %w", src, tgt, err)
+		}
+		m.pairs[[2]string{src, tgt}] = model
+	}
+	return m, nil
+}
+
+// BandStats returns Table I's per-band statistics of the full graph.
+func (m *Model) BandStats() []graph.Stats {
+	return m.graph.BandStats(graph.PaperRanges(), m.cfg.PopularInDegree)
+}
+
+// SortedEdges returns all relationship edges sorted by descending score.
+func (m *Model) SortedEdges() []graph.Edge {
+	edges := m.graph.Edges()
+	sort.Slice(edges, func(i, j int) bool { return edges[i].Score > edges[j].Score })
+	return edges
+}

@@ -1,0 +1,101 @@
+package mdes
+
+import (
+	"fmt"
+
+	"mdes/internal/anomaly"
+	"mdes/internal/nmt"
+)
+
+// Stream is an online detector: it consumes one tick of sensor readings at a
+// time and emits a detection Point whenever enough ticks have accumulated to
+// form the next sentence for every sensor. This is the deployment mode the
+// paper describes in §II-A2 — "with a per minute sampling granularity and
+// n = 1, detection can be performed every minute" — without having to
+// re-batch the whole test log.
+type Stream struct {
+	model *Model
+	det   *anomaly.Detector
+	rels  []anomaly.Relationship
+
+	span   int // ticks covered by one sentence
+	stride int // ticks between consecutive sentences
+
+	buf     map[string][]string // rolling window of the last `span` ticks
+	ticks   int                 // total ticks consumed
+	emitted int                 // points emitted so far
+}
+
+// NewStream creates an online detector over the model's configured valid
+// range.
+func (m *Model) NewStream() *Stream {
+	lc := m.cfg.Language
+	det := m.Detector()
+	return &Stream{
+		model:  m,
+		det:    det,
+		rels:   det.Relationships(),
+		span:   lc.WordLen + (lc.SentenceLen-1)*lc.WordStride,
+		stride: lc.SentenceStride * lc.WordStride,
+		buf:    make(map[string][]string, len(m.languages)),
+	}
+}
+
+// SentenceSpan returns how many ticks one detection window covers.
+func (s *Stream) SentenceSpan() int { return s.span }
+
+// Push consumes one tick of readings (sensor name -> event). Sensors the
+// model does not know are ignored; modelled sensors missing from the tick
+// are an error. When a full new sentence is available, Push returns the
+// detection Point for it; otherwise it returns nil.
+func (s *Stream) Push(tick map[string]string) (*Point, error) {
+	for name := range s.model.languages {
+		ev, ok := tick[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q missing from tick %d", ErrMisaligned, name, s.ticks)
+		}
+		buf := append(s.buf[name], ev)
+		if len(buf) > s.span {
+			buf = buf[len(buf)-s.span:]
+		}
+		s.buf[name] = buf
+	}
+	s.ticks++
+
+	// The first sentence completes at tick == span; subsequent ones every
+	// stride ticks.
+	if s.ticks < s.span || (s.ticks-s.span)%s.stride != 0 {
+		return nil, nil
+	}
+
+	row := make([]float64, len(s.rels))
+	sent := make(map[string][]int, len(s.model.languages))
+	for name, l := range s.model.languages {
+		sents, err := l.SentencesFor(Sequence{Sensor: name, Events: s.buf[name]})
+		if err != nil {
+			return nil, fmt.Errorf("mdes: stream sensor %q: %w", name, err)
+		}
+		sent[name] = sents[0]
+	}
+	for k, rel := range s.rels {
+		m := s.model.pairs[[2]string{rel.Src, rel.Tgt}]
+		if m == nil {
+			return nil, fmt.Errorf("mdes: no model for valid pair %s->%s", rel.Src, rel.Tgt)
+		}
+		row[k] = nmt.ScoreSentence(m, sent[rel.Src], sent[rel.Tgt])
+	}
+	points, err := s.det.Evaluate([][]float64{row})
+	if err != nil {
+		return nil, err
+	}
+	p := points[0]
+	p.T = s.emitted
+	s.emitted++
+	return &p, nil
+}
+
+// Ticks returns how many ticks have been consumed.
+func (s *Stream) Ticks() int { return s.ticks }
+
+// Emitted returns how many detection points have been produced.
+func (s *Stream) Emitted() int { return s.emitted }

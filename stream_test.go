@@ -1,0 +1,147 @@
+package mdes
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStreamMatchesBatchDetection verifies that feeding ticks one at a time
+// produces exactly the same anomaly scores as batch Detect, provided the
+// sentence windows line up (non-overlapping sentences).
+func TestStreamMatchesBatchDetection(t *testing.T) {
+	model := trainTiny(t)
+	rng := rand.New(rand.NewSource(55))
+	ds := coupledDataset(rng, 240)
+
+	batch, err := model.Detect(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream := model.NewStream()
+	var streamed []Point
+	for tick := 0; tick < ds.Ticks(); tick++ {
+		reading := make(map[string]string, len(ds.Sequences))
+		for _, s := range ds.Sequences {
+			reading[s.Sensor] = s.Events[tick]
+		}
+		p, err := stream.Push(reading)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			streamed = append(streamed, *p)
+		}
+	}
+
+	if len(streamed) != len(batch) {
+		t.Fatalf("stream emitted %d points, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if math.Abs(streamed[i].Score-batch[i].Score) > 1e-12 {
+			t.Fatalf("point %d: stream %.4f vs batch %.4f", i, streamed[i].Score, batch[i].Score)
+		}
+		if len(streamed[i].Broken) != len(batch[i].Broken) {
+			t.Fatalf("point %d: alert counts differ", i)
+		}
+	}
+	if stream.Ticks() != 240 || stream.Emitted() != len(batch) {
+		t.Fatalf("stream counters = %d ticks, %d emitted", stream.Ticks(), stream.Emitted())
+	}
+}
+
+func TestStreamCadence(t *testing.T) {
+	model := trainTiny(t)
+	stream := model.NewStream()
+	// tinyTestConfig: word 4 stride 1, sentence 5 stride 5
+	// -> span = 4 + 4*1 = 8 ticks, stride = 5 ticks.
+	if stream.SentenceSpan() != 8 {
+		t.Fatalf("span = %d, want 8", stream.SentenceSpan())
+	}
+	emittedAt := []int{}
+	for tick := 0; tick < 30; tick++ {
+		reading := map[string]string{"a": "ON", "b": "ON", "c": "OFF"}
+		p, err := stream.Push(reading)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			emittedAt = append(emittedAt, tick)
+		}
+	}
+	want := []int{7, 12, 17, 22, 27} // first at span, then every stride
+	if len(emittedAt) != len(want) {
+		t.Fatalf("emissions at %v, want %v", emittedAt, want)
+	}
+	for i := range want {
+		if emittedAt[i] != want[i] {
+			t.Fatalf("emissions at %v, want %v", emittedAt, want)
+		}
+	}
+}
+
+func TestStreamErrors(t *testing.T) {
+	model := trainTiny(t)
+	stream := model.NewStream()
+	// Missing modelled sensor.
+	if _, err := stream.Push(map[string]string{"a": "ON"}); err == nil {
+		t.Fatal("missing sensor accepted")
+	}
+	// Extra sensors are fine.
+	reading := map[string]string{"a": "ON", "b": "ON", "c": "OFF", "extra": "42"}
+	if _, err := stream.Push(reading); err != nil {
+		t.Fatalf("extra sensor rejected: %v", err)
+	}
+}
+
+// TestStreamDetectsLiveBreak runs a live scenario: normal ticks, then the
+// coupling breaks mid-stream and scores must rise.
+func TestStreamDetectsLiveBreak(t *testing.T) {
+	model := trainTiny(t)
+	rng := rand.New(rand.NewSource(56))
+	ds := coupledDataset(rng, 300)
+	stream := model.NewStream()
+
+	var before, after []float64
+	for tick := 0; tick < ds.Ticks(); tick++ {
+		reading := make(map[string]string, len(ds.Sequences))
+		for _, s := range ds.Sequences {
+			reading[s.Sensor] = s.Events[tick]
+		}
+		if tick >= 150 { // live decoupling of sensor b
+			if rng.Float64() < 0.5 {
+				reading["b"] = "ON"
+			} else {
+				reading["b"] = "OFF"
+			}
+		}
+		p, err := stream.Push(reading)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p == nil {
+			continue
+		}
+		if tick < 150 {
+			before = append(before, p.Score)
+		} else if tick >= 160 { // give the window time to fill with broken data
+			after = append(after, p.Score)
+		}
+	}
+	if len(before) == 0 || len(after) == 0 {
+		t.Fatal("missing samples")
+	}
+	if avg(after) <= avg(before) {
+		t.Fatalf("live break not detected: before %.3f, after %.3f", avg(before), avg(after))
+	}
+}
+
+func avg(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
