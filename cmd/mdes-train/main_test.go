@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"mdes"
 	"mdes/internal/seqio"
 )
 
@@ -72,6 +73,76 @@ func TestTrainRoundTrip(t *testing.T) {
 	if fi, err := os.Stat(modelPath); err != nil || fi.Size() == 0 {
 		t.Fatalf("model file missing: %v", err)
 	}
+}
+
+// TestTrainCheckpointResume exercises the CLI journal flow: a checkpointed
+// run, then a -resume rerun that restores every pair and writes a model with
+// identical graph edges.
+func TestTrainCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.csv")
+	ckptPath := filepath.Join(dir, "train.journal")
+	writeToyLog(t, logPath, 420)
+
+	common := []string{
+		"-in", logPath, "-train-ticks", "300", "-dev-ticks", "120",
+		"-word", "3", "-sentence", "4", "-sentence-stride", "4",
+		"-hidden", "12", "-layers", "1", "-steps", "60",
+		"-valid-lo", "0", "-valid-hi", "100",
+		"-checkpoint", ckptPath, "-progress-every", "0s",
+	}
+
+	var out1 bytes.Buffer
+	model1 := filepath.Join(dir, "m1.json")
+	if err := run(append(common, "-model", model1), &out1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out1.String(), "pairs 6/6") {
+		t.Fatalf("no progress lines in output: %s", out1.String())
+	}
+
+	// Re-running against a populated journal without -resume must refuse.
+	var out2 bytes.Buffer
+	if err := run(append(common, "-model", model1), &out2); err == nil {
+		t.Fatal("populated journal without -resume accepted")
+	}
+
+	// -resume restores all six pairs and produces identical edges.
+	var out3 bytes.Buffer
+	model2 := filepath.Join(dir, "m2.json")
+	if err := run(append(common, "-resume", "-model", model2), &out3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out3.String(), "resumed 6/6 pairs from checkpoint") {
+		t.Fatalf("resume report missing: %s", out3.String())
+	}
+	g1, g2 := loadEdges(t, model1), loadEdges(t, model2)
+	if len(g1) != len(g2) {
+		t.Fatalf("edge counts differ: %d vs %d", len(g1), len(g2))
+	}
+	for k, s := range g1 {
+		if g2[k] != s {
+			t.Fatalf("edge %v: resumed %v vs original %v", k, g2[k], s)
+		}
+	}
+}
+
+func loadEdges(t *testing.T, path string) map[[2]string]float64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := mdes.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[[2]string]float64)
+	for _, e := range m.Graph().Edges() {
+		out[[2]string{e.Src, e.Tgt}] = e.Score
+	}
+	return out
 }
 
 func TestTrainUsageErrors(t *testing.T) {

@@ -1,0 +1,162 @@
+// Package checkpoint persists pairwise training progress so a long offline
+// run (Algorithm 1 trains one NMT model per ordered sensor pair — 16,256 for
+// the paper's 128-sensor plant) survives crashes and cancellation. Completed
+// pairs are journaled incrementally to an append-only file; on resume the
+// journal is replayed and finished pairs are skipped.
+//
+// Record framing is crash-safe: every record is
+//
+//	[4-byte little-endian payload length][4-byte CRC-32 (IEEE) of payload][payload]
+//
+// and every append is followed by an fsync. A process killed mid-write leaves
+// at most one torn record at the end of the file; Open detects it (short
+// frame or CRC mismatch), drops it, and truncates the file back to the last
+// intact record, so the journal is always a valid prefix of the run.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+
+	"mdes/internal/nmt"
+)
+
+// frameHeaderSize is the per-record overhead: payload length + CRC.
+const frameHeaderSize = 8
+
+// maxPayload guards against reading a garbage length field as a huge
+// allocation; a single pair snapshot is far below this.
+const maxPayload = 1 << 30
+
+// PairRecord is one journaled pair: identity, its relationship-graph edge
+// weight, its wall-clock cost, and the trained weights.
+type PairRecord struct {
+	Src     string        `json:"src"`
+	Tgt     string        `json:"tgt"`
+	BLEU    float64       `json:"bleu"`
+	Runtime time.Duration `json:"runtime"`
+	State   nmt.State     `json:"state"`
+}
+
+// Journal is an open checkpoint file positioned for appending.
+type Journal struct {
+	f       *os.File
+	path    string
+	records []PairRecord
+	torn    bool
+}
+
+// ErrCorrupt reports a record that is intact on disk (length and CRC match)
+// but does not decode — not a torn tail, so it is never silently dropped.
+var ErrCorrupt = errors.New("checkpoint: corrupt record")
+
+// Open opens (creating if necessary) a journal, replays its intact records,
+// and truncates away a torn final record if the previous run died mid-append.
+// The returned journal is positioned to append.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", path, err)
+	}
+	j := &Journal{f: f, path: path}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay reads records from the start of the file, remembering the offset of
+// the last intact frame; anything beyond it is a torn tail and is truncated.
+func (j *Journal) replay() error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("checkpoint: read %s: %w", j.path, err)
+	}
+	valid := 0 // byte offset of the end of the last intact record
+	for off := 0; off < len(data); {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			j.torn = true
+			break
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxPayload || len(rest) < frameHeaderSize+int(n) {
+			j.torn = true
+			break
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			j.torn = true
+			break
+		}
+		var rec PairRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("%w at offset %d: %v", ErrCorrupt, off, err)
+		}
+		j.records = append(j.records, rec)
+		off += frameHeaderSize + int(n)
+		valid = off
+	}
+	if valid < len(data) {
+		if err := j.f.Truncate(int64(valid)); err != nil {
+			return fmt.Errorf("checkpoint: truncate torn tail of %s: %w", j.path, err)
+		}
+	}
+	if _, err := j.f.Seek(int64(valid), io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint: seek %s: %w", j.path, err)
+	}
+	return nil
+}
+
+// Records returns the intact records replayed at Open plus any appended
+// since, in journal order.
+func (j *Journal) Records() []PairRecord {
+	return append([]PairRecord(nil), j.records...)
+}
+
+// Pairs indexes the journal by (src, tgt). Later records win, so a journal
+// that somehow holds duplicates resolves to the freshest state.
+func (j *Journal) Pairs() map[[2]string]PairRecord {
+	out := make(map[[2]string]PairRecord, len(j.records))
+	for _, r := range j.records {
+		out[[2]string{r.Src, r.Tgt}] = r
+	}
+	return out
+}
+
+// Torn reports whether Open found and dropped a torn final record.
+func (j *Journal) Torn() bool { return j.torn }
+
+// Append journals one completed pair: a single framed write followed by an
+// fsync, so either the whole record is durable or it reads as a torn tail on
+// the next Open.
+func (j *Journal) Append(rec PairRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode pair %s->%s: %w", rec.Src, rec.Tgt, err)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderSize:], payload)
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("checkpoint: append pair %s->%s: %w", rec.Src, rec.Tgt, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync %s: %w", j.path, err)
+	}
+	j.records = append(j.records, rec)
+	return nil
+}
+
+// Close closes the underlying file. The journal keeps no buffered state —
+// every Append is already durable — so Close never loses records.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -10,6 +10,7 @@
 package nmt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -201,8 +202,20 @@ var ErrEmptySequence = errors.New("nmt: empty source or target sequence")
 // gradients, and returns the summed token cross-entropy and token count. The
 // caller batches examples and applies the optimiser step.
 func (m *Model) TrainExample(src, tgt []int) (loss float64, tokens int, err error) {
+	return m.TrainExampleContext(context.Background(), src, tgt)
+}
+
+// TrainExampleContext is TrainExample with cancellation: the context is
+// checked before the forward and before the backward pass, so a cancelled
+// training run stops within an example rather than only between optimiser
+// steps. The checks never consume model RNG, so a run under a background
+// context is bit-identical to one under an ignored live context.
+func (m *Model) TrainExampleContext(ctx context.Context, src, tgt []int) (loss float64, tokens int, err error) {
 	if len(src) == 0 || len(tgt) == 0 {
 		return 0, 0, ErrEmptySequence
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
 	}
 	enc := m.encode(src, true)
 
@@ -234,6 +247,10 @@ func (m *Model) TrainExample(src, tgt []int) (loss float64, tokens int, err erro
 		mat.Softmax(p, logits)
 		probs[t] = p
 		loss += -math.Log(math.Max(p[targets[t]], 1e-12))
+	}
+
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
 	}
 
 	// Backward pass, walking the decoder in reverse time order.
@@ -286,6 +303,14 @@ type TrainResult struct {
 // Train runs cfg.TrainSteps optimiser steps over the aligned corpus
 // (src[i] translates to tgt[i]), sampling batches with the model RNG.
 func (m *Model) Train(src, tgt [][]int) (TrainResult, error) {
+	return m.TrainContext(context.Background(), src, tgt)
+}
+
+// TrainContext is Train with cancellation: the context is checked at every
+// optimiser step and inside every example, so cancelling mid-run returns
+// ctx.Err() promptly — within a pair, not only between pairs. The partial
+// TrainResult reports how many steps completed before cancellation.
+func (m *Model) TrainContext(ctx context.Context, src, tgt [][]int) (TrainResult, error) {
 	if len(src) != len(tgt) {
 		return TrainResult{}, fmt.Errorf("nmt: corpus sides differ: %d vs %d", len(src), len(tgt))
 	}
@@ -294,6 +319,9 @@ func (m *Model) Train(src, tgt [][]int) (TrainResult, error) {
 	}
 	var res TrainResult
 	for step := 0; step < m.cfg.TrainSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		m.params.ZeroGrad()
 		var lossSum float64
 		var tokens int
@@ -302,7 +330,7 @@ func (m *Model) Train(src, tgt [][]int) (TrainResult, error) {
 			if len(src[i]) == 0 || len(tgt[i]) == 0 {
 				continue
 			}
-			l, n, err := m.TrainExample(src[i], tgt[i])
+			l, n, err := m.TrainExampleContext(ctx, src[i], tgt[i])
 			if err != nil {
 				return res, err
 			}

@@ -2,9 +2,12 @@ package nmt
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"mdes/internal/bleu"
 )
@@ -309,6 +312,129 @@ func TestTrainPairsCancellation(t *testing.T) {
 	res := TrainPairs(ctx, tinyConfig(), pairs, 2, 0)
 	if res[0].Err == nil {
 		t.Fatal("cancelled context must surface an error")
+	}
+}
+
+// TestTrainContextCancelsMidPair: cancellation must take effect within a
+// pair's step loop, not only between pairs — a pair configured to train for
+// ~a million steps must stop almost immediately after the deadline.
+func TestTrainContextCancelsMidPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	src, tgt := copyCorpus(rng, 16, 6, 5)
+	cfg := tinyConfig()
+	cfg.TrainSteps = 1 << 20
+	m, err := NewModel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := m.TrainContext(ctx, src, tgt)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt", elapsed)
+	}
+	if res.Steps >= cfg.TrainSteps {
+		t.Fatalf("run completed all %d steps despite cancellation", res.Steps)
+	}
+}
+
+// TestTrainPairsMidRunCancellation cancels after the first pair lands and
+// checks the invariant every caller relies on: each result is either fully
+// trained (model present, no error) or carries ctx.Err() — never a silent
+// half-trained model.
+func TestTrainPairsMidRunCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	pairs := make([]PairData, 8)
+	for i := range pairs {
+		src, tgt := copyCorpus(rng, 12, 4, 4)
+		pairs[i] = PairData{
+			Src: "s", Tgt: "t",
+			TrainSrc: src, TrainTgt: tgt, DevSrc: src[:3], DevTgt: tgt[:3],
+			SrcVocab: 9, TgtVocab: 9,
+		}
+	}
+	cfg := tinyConfig()
+	cfg.TrainSteps = 40
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	results := TrainPairsOpts(ctx, cfg, pairs, 2, 7, PairsOptions{
+		OnResult: func(i int, r PairResult) { once.Do(cancel) },
+	})
+	var trained, cancelled int
+	for i, r := range results {
+		switch {
+		case r.Err == nil:
+			if r.Model == nil {
+				t.Fatalf("pair %d: no error but no model", i)
+			}
+			trained++
+		case errors.Is(r.Err, context.Canceled):
+			if r.Model != nil {
+				t.Fatalf("pair %d: cancelled result still carries a model", i)
+			}
+			cancelled++
+		default:
+			t.Fatalf("pair %d: unexpected error %v", i, r.Err)
+		}
+	}
+	if trained == 0 || cancelled == 0 {
+		t.Fatalf("want a mix of trained and cancelled pairs, got %d/%d", trained, cancelled)
+	}
+}
+
+// TestTrainPairsOptsCompletedSkips: pairs satisfied by the Completed hook are
+// installed verbatim without retraining, do not fire OnResult, and do not
+// perturb the seeds of the pairs that are trained.
+func TestTrainPairsOptsCompletedSkips(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	mkPair := func(name string) PairData {
+		src, tgt := copyCorpus(rng, 12, 4, 4)
+		return PairData{
+			Src: name, Tgt: name + "'",
+			TrainSrc: src, TrainTgt: tgt, DevSrc: src[:3], DevTgt: tgt[:3],
+			SrcVocab: 9, TgtVocab: 9,
+		}
+	}
+	pairs := []PairData{mkPair("a"), mkPair("b"), mkPair("c")}
+	cfg := tinyConfig()
+	cfg.TrainSteps = 15
+
+	full := TrainPairs(context.Background(), cfg, pairs, 2, 100)
+
+	canned := PairResult{Src: "b", Tgt: "b'", BLEU: 42.5}
+	var fired []int
+	resumed := TrainPairsOpts(context.Background(), cfg, pairs, 2, 100, PairsOptions{
+		Completed: func(i int) (PairResult, bool) {
+			if i == 1 {
+				return canned, true
+			}
+			return PairResult{}, false
+		},
+		OnResult: func(i int, r PairResult) { fired = append(fired, i) },
+	})
+	if resumed[1].BLEU != 42.5 || resumed[1].Err != nil {
+		t.Fatalf("completed pair not installed verbatim: %+v", resumed[1])
+	}
+	for _, i := range fired {
+		if i == 1 {
+			t.Fatal("OnResult fired for a resumed pair")
+		}
+	}
+	if len(fired) != 2 {
+		t.Fatalf("OnResult fired %d times, want 2", len(fired))
+	}
+	for _, i := range []int{0, 2} {
+		if resumed[i].Err != nil || full[i].Err != nil {
+			t.Fatalf("pair %d errored: %v / %v", i, resumed[i].Err, full[i].Err)
+		}
+		if resumed[i].BLEU != full[i].BLEU {
+			t.Fatalf("pair %d BLEU drifted on resume: %v vs %v", i, resumed[i].BLEU, full[i].BLEU)
+		}
 	}
 }
 

@@ -37,6 +37,13 @@ type PairResult struct {
 // TrainPair trains one directional model on data and scores it on the dev
 // split. The seed makes the run reproducible.
 func TrainPair(cfg Config, data PairData, seed int64) PairResult {
+	return TrainPairContext(context.Background(), cfg, data, seed)
+}
+
+// TrainPairContext is TrainPair with cancellation: the context is threaded
+// into the per-step training loop, so cancelling takes effect mid-pair. A
+// cancelled result carries an error wrapping ctx.Err().
+func TrainPairContext(ctx context.Context, cfg Config, data PairData, seed int64) PairResult {
 	start := time.Now()
 	res := PairResult{Src: data.Src, Tgt: data.Tgt}
 	cfg.SrcVocab = data.SrcVocab
@@ -46,7 +53,7 @@ func TrainPair(cfg Config, data PairData, seed int64) PairResult {
 		res.Err = fmt.Errorf("pair %s->%s: %w", data.Src, data.Tgt, err)
 		return res
 	}
-	if _, err := model.Train(data.TrainSrc, data.TrainTgt); err != nil {
+	if _, err := model.TrainContext(ctx, data.TrainSrc, data.TrainTgt); err != nil {
 		res.Err = fmt.Errorf("pair %s->%s: train: %w", data.Src, data.Tgt, err)
 		return res
 	}
@@ -96,22 +103,56 @@ func maskRefUnknowns(ref []int) []int {
 	return masked
 }
 
+// PairsOptions customises a TrainPairsOpts run.
+type PairsOptions struct {
+	// Completed, if non-nil, is consulted before training pair i; returning
+	// (result, true) installs the result without retraining — the resume
+	// hook for checkpointed runs. Skipping a pair does not perturb the seeds
+	// of the remaining pairs, so a resumed run reproduces an uninterrupted
+	// one bit for bit.
+	Completed func(i int) (PairResult, bool)
+	// OnResult, if non-nil, is called once per freshly trained pair (not for
+	// pairs satisfied by Completed, and not for pairs cancelled before being
+	// handed to a worker). Calls are serialised — implementations may journal
+	// or update progress state without their own locking.
+	OnResult func(i int, r PairResult)
+}
+
 // TrainPairs trains every pair on a bounded worker pool, preserving input
 // order in the result slice. workers <= 0 selects GOMAXPROCS. The context
-// cancels outstanding work: cancelled pairs carry ctx.Err().
+// cancels outstanding work: cancelled pairs carry ctx.Err(), and a pair that
+// is mid-training when the context is cancelled stops within a few optimiser
+// steps rather than running to completion.
 //
 // Each pair derives its seed as baseSeed + index so results do not depend on
 // goroutine scheduling.
 func TrainPairs(ctx context.Context, cfg Config, pairs []PairData, workers int, baseSeed int64) []PairResult {
+	return TrainPairsOpts(ctx, cfg, pairs, workers, baseSeed, PairsOptions{})
+}
+
+// TrainPairsOpts is TrainPairs with resume and completion hooks.
+func TrainPairsOpts(ctx context.Context, cfg Config, pairs []PairData, workers int, baseSeed int64, opts PairsOptions) []PairResult {
+	results := make([]PairResult, len(pairs))
+	pending := make([]int, 0, len(pairs))
+	for i := range pairs {
+		if opts.Completed != nil {
+			if r, ok := opts.Completed(i); ok {
+				results[i] = r
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(pairs) {
-		workers = len(pairs)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
-	results := make([]PairResult, len(pairs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var emit sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -123,17 +164,23 @@ func TrainPairs(ctx context.Context, cfg Config, pairs []PairData, workers int, 
 					}
 					continue
 				}
-				results[idx] = TrainPair(cfg, pairs[idx], baseSeed+int64(idx))
+				r := TrainPairContext(ctx, cfg, pairs[idx], baseSeed+int64(idx))
+				results[idx] = r
+				if opts.OnResult != nil {
+					emit.Lock()
+					opts.OnResult(idx, r)
+					emit.Unlock()
+				}
 			}
 		}()
 	}
 feed:
-	for i := range pairs {
+	for n, i := range pending {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():
 			// Mark everything not yet handed out as cancelled.
-			for j := i; j < len(pairs); j++ {
+			for _, j := range pending[n:] {
 				results[j] = PairResult{Src: pairs[j].Src, Tgt: pairs[j].Tgt, Err: ctx.Err()}
 			}
 			break feed

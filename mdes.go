@@ -22,9 +22,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"mdes/internal/anomaly"
+	"mdes/internal/checkpoint"
 	"mdes/internal/graph"
 	"mdes/internal/lang"
 	"mdes/internal/nmt"
@@ -139,10 +141,97 @@ type Model struct {
 	runtimes  []PairRuntime
 }
 
+// BLEUStats summarises the dev-BLEU distribution over finished pairs.
+type BLEUStats struct {
+	Min, Median, Mean, Max float64
+}
+
+// TrainProgress is one progress report from a checkpointed training run.
+// Reports are delivered serially, once per finished pair, plus one initial
+// report (with empty Src/Tgt) when a resume restores pairs from the journal.
+type TrainProgress struct {
+	// Done counts finished pairs, including pairs restored on resume; Total
+	// is the full pair count for the run.
+	Done, Total int
+	// Resumed counts pairs restored from the checkpoint journal.
+	Resumed int
+	// Src, Tgt and BLEU identify the pair that just finished (empty on the
+	// initial resume report).
+	Src, Tgt string
+	BLEU     float64
+	// BLEUs is the rolling distribution over every finished pair so far.
+	BLEUs BLEUStats
+	// Elapsed is wall-clock time since Train started; ETA extrapolates the
+	// remaining time from the pairs trained this run (zero until the first
+	// pair finishes).
+	Elapsed, ETA time.Duration
+}
+
+// TrainOptions controls checkpointing, resumption, and progress reporting of
+// the offline phase.
+type TrainOptions struct {
+	// Checkpoint is the path of an append-only journal; every finished pair
+	// is persisted (weights included) as soon as it completes. Empty
+	// disables checkpointing.
+	Checkpoint string
+	// Resume replays the Checkpoint journal and skips pairs it already
+	// holds. Restored pairs keep their journaled BLEU and weights, so a
+	// resumed run reproduces an uninterrupted run with the same seed bit
+	// for bit. Pairs whose journaled configuration no longer matches the
+	// current one are retrained.
+	Resume bool
+	// Progress, if non-nil, receives serialised TrainProgress reports.
+	Progress func(TrainProgress)
+}
+
+// trainTracker accumulates progress state. TrainPairsOpts serialises
+// OnResult calls and the restore scan happens before workers start, so no
+// locking is needed.
+type trainTracker struct {
+	total, done, resumed int
+	start                time.Time
+	bleus                []float64
+	journalErr           error
+}
+
+func (tk *trainTracker) snapshot(src, tgt string, bleu float64) TrainProgress {
+	p := TrainProgress{
+		Done: tk.done, Total: tk.total, Resumed: tk.resumed,
+		Src: src, Tgt: tgt, BLEU: bleu,
+		Elapsed: time.Since(tk.start),
+	}
+	if n := len(tk.bleus); n > 0 {
+		sorted := append([]float64(nil), tk.bleus...)
+		sort.Float64s(sorted)
+		var sum float64
+		for _, b := range sorted {
+			sum += b
+		}
+		median := sorted[n/2]
+		if n%2 == 0 {
+			median = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		p.BLEUs = BLEUStats{Min: sorted[0], Median: median, Mean: sum / float64(n), Max: sorted[n-1]}
+	}
+	if trained := tk.done - tk.resumed; trained > 0 && tk.done < tk.total {
+		p.ETA = p.Elapsed / time.Duration(trained) * time.Duration(tk.total-tk.done)
+	}
+	return p
+}
+
 // Train runs the offline phase (Algorithm 1): sequence filtering, language
 // construction from the training split, pairwise NMT training, and dev-split
 // BLEU scoring into the multivariate relationship graph.
 func (f *Framework) Train(ctx context.Context, train, dev *seqio.Dataset) (*Model, error) {
+	return f.TrainWithOptions(ctx, train, dev, TrainOptions{})
+}
+
+// TrainWithOptions is Train with checkpointing, resumption, and progress
+// reporting. With a Checkpoint path set, every finished pair is journaled
+// durably as it completes, so a crashed or cancelled run loses at most the
+// pairs still in flight; re-running with Resume retrains only the missing
+// pairs.
+func (f *Framework) TrainWithOptions(ctx context.Context, train, dev *seqio.Dataset, opts TrainOptions) (*Model, error) {
 	if err := train.Validate(); err != nil {
 		return nil, fmt.Errorf("mdes: train set: %w", err)
 	}
@@ -205,7 +294,100 @@ func (f *Framework) Train(ctx context.Context, train, dev *seqio.Dataset) (*Mode
 		}
 	}
 
-	results := nmt.TrainPairs(ctx, f.cfg.NMT, pairs, f.cfg.Workers, f.cfg.Seed)
+	var journal *checkpoint.Journal
+	var prior map[[2]string]checkpoint.PairRecord
+	if opts.Checkpoint != "" {
+		j, err := checkpoint.Open(opts.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		if recs := j.Records(); len(recs) > 0 && !opts.Resume {
+			return nil, fmt.Errorf("mdes: checkpoint %s already holds %d pairs; set Resume to continue it or remove the file", opts.Checkpoint, len(recs))
+		}
+		journal = j
+		if opts.Resume {
+			prior = j.Pairs()
+		}
+	} else if opts.Resume {
+		return nil, errors.New("mdes: Resume requires a Checkpoint path")
+	}
+
+	tracker := &trainTracker{total: len(pairs), start: time.Now()}
+
+	// Restore journaled pairs whose configuration still matches this run;
+	// anything that drifted (different vocabulary, architecture, windows)
+	// is retrained from scratch.
+	restored := make(map[int]nmt.PairResult)
+	for i, pd := range pairs {
+		rec, ok := prior[[2]string{pd.Src, pd.Tgt}]
+		if !ok {
+			continue
+		}
+		want := f.cfg.NMT
+		want.SrcVocab, want.TgtVocab = pd.SrcVocab, pd.TgtVocab
+		if rec.State.Config != want {
+			continue
+		}
+		pairModel, err := nmt.LoadModel(rec.State)
+		if err != nil {
+			continue
+		}
+		restored[i] = nmt.PairResult{
+			Src: pd.Src, Tgt: pd.Tgt, Model: pairModel, BLEU: rec.BLEU, Runtime: rec.Runtime,
+		}
+		tracker.done++
+		tracker.resumed++
+		tracker.bleus = append(tracker.bleus, rec.BLEU)
+	}
+	if opts.Progress != nil && tracker.resumed > 0 {
+		opts.Progress(tracker.snapshot("", "", 0))
+	}
+
+	// A journal write failure cancels the run: grinding on for hours while
+	// silently not persisting would defeat the point of checkpointing.
+	runCtx := ctx
+	var cancelRun context.CancelCauseFunc
+	if journal != nil {
+		runCtx, cancelRun = context.WithCancelCause(ctx)
+		defer cancelRun(nil)
+	}
+
+	popts := nmt.PairsOptions{}
+	if len(restored) > 0 {
+		popts.Completed = func(i int) (nmt.PairResult, bool) {
+			r, ok := restored[i]
+			return r, ok
+		}
+	}
+	if journal != nil || opts.Progress != nil {
+		popts.OnResult = func(i int, r nmt.PairResult) {
+			if r.Err != nil {
+				return
+			}
+			if journal != nil && tracker.journalErr == nil {
+				err := journal.Append(checkpoint.PairRecord{
+					Src: r.Src, Tgt: r.Tgt, BLEU: r.BLEU, Runtime: r.Runtime,
+					State: r.Model.State(),
+				})
+				if err != nil {
+					tracker.journalErr = err
+					cancelRun(err)
+					return
+				}
+			}
+			tracker.done++
+			tracker.bleus = append(tracker.bleus, r.BLEU)
+			if opts.Progress != nil {
+				opts.Progress(tracker.snapshot(r.Src, r.Tgt, r.BLEU))
+			}
+		}
+	}
+
+	results := nmt.TrainPairsOpts(runCtx, f.cfg.NMT, pairs, f.cfg.Workers, f.cfg.Seed, popts)
+	if tracker.journalErr != nil {
+		return nil, tracker.journalErr
+	}
 	for _, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("mdes: pair %s->%s: %w", r.Src, r.Tgt, r.Err)

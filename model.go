@@ -7,6 +7,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"mdes/internal/anomaly"
@@ -83,17 +84,30 @@ func (m *Model) TestScores(ctx context.Context, test *seqio.Dataset) ([][]float6
 	return m.testScores(ctx, test, m.Detector())
 }
 
+// ctxCheckStride bounds how many sentence scores a worker computes between
+// context checks.
+const ctxCheckStride = 64
+
 func (m *Model) testScores(ctx context.Context, test *seqio.Dataset, det *anomaly.Detector) ([][]float64, error) {
 	rels := det.Relationships()
 	sents, err := m.encodeAll(test)
 	if err != nil {
 		return nil, err
 	}
-	// All sensors are aligned, so any sensor's sentence count works.
-	var steps int
-	for _, s := range sents {
-		steps = len(s)
-		break
+	// Every sensor must agree on the sentence count; a mismatch would index
+	// past the shorter side below.
+	steps := -1
+	for name, s := range sents {
+		if steps == -1 {
+			steps = len(s)
+			continue
+		}
+		if len(s) != steps {
+			return nil, fmt.Errorf("%w: sensor %q yields %d sentences, others %d", ErrMisaligned, name, len(s), steps)
+		}
+	}
+	if steps < 0 {
+		steps = 0
 	}
 
 	scores := make([][]float64, steps)
@@ -139,6 +153,13 @@ func (m *Model) testScores(ctx context.Context, test *seqio.Dataset, det *anomal
 				}
 				src, tgt := sents[rel.Src], sents[rel.Tgt]
 				for t := 0; t < steps; t++ {
+					// Re-check cancellation periodically: one relationship can
+					// cover thousands of timestamps, and waiting for the whole
+					// column would make Detect cancellation sluggish.
+					if t%ctxCheckStride == 0 && ctx.Err() != nil {
+						setErr(ctx.Err())
+						break
+					}
 					scores[t][k] = nmt.ScoreSentence(model, src[t], tgt[t])
 				}
 			}
@@ -217,8 +238,23 @@ type persistedLang struct {
 	Config   lang.Config `json:"config"`
 }
 
+// pairKeySep joins the two sensor names of a pair key in the JSON wire
+// format. Sensor names must not contain it, or the key could not be split
+// back unambiguously.
+const pairKeySep = '\x1f'
+
 // Save serialises the model (graph, languages, NMT weights) as JSON.
 func (m *Model) Save(w io.Writer) error {
+	for name := range m.languages {
+		if strings.ContainsRune(name, pairKeySep) {
+			return fmt.Errorf("mdes: sensor name %q contains the reserved pair separator %q", name, pairKeySep)
+		}
+	}
+	for key := range m.pairs {
+		if strings.ContainsRune(key[0], pairKeySep) || strings.ContainsRune(key[1], pairKeySep) {
+			return fmt.Errorf("mdes: pair %q->%q contains the reserved pair separator %q", key[0], key[1], pairKeySep)
+		}
+	}
 	p := persistedModel{
 		Config:    m.cfg,
 		Dropped:   m.dropped,
@@ -237,7 +273,7 @@ func (m *Model) Save(w io.Writer) error {
 		}
 	}
 	for key, model := range m.pairs {
-		p.Pairs[key[0]+"\x1f"+key[1]] = model.State()
+		p.Pairs[key[0]+string(pairKeySep)+key[1]] = model.State()
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(p)
@@ -273,12 +309,14 @@ func Load(r io.Reader) (*Model, error) {
 	for key, st := range p.Pairs {
 		var src, tgt string
 		for i := 0; i < len(key); i++ {
-			if key[i] == '\x1f' {
+			if key[i] == pairKeySep {
 				src, tgt = key[:i], key[i+1:]
 				break
 			}
 		}
-		if src == "" && tgt == "" {
+		// Both halves must be non-empty: "\x1fX", "A\x1f", and keys with no
+		// separator at all are malformed, not pairs with a nameless sensor.
+		if src == "" || tgt == "" {
 			return nil, fmt.Errorf("mdes: malformed pair key %q", key)
 		}
 		model, err := nmt.LoadModel(st)

@@ -49,12 +49,16 @@ func (s *Stream) SentenceSpan() int { return s.span }
 // are an error. When a full new sentence is available, Push returns the
 // detection Point for it; otherwise it returns nil.
 func (s *Stream) Push(tick map[string]string) (*Point, error) {
+	// Validate the whole tick before touching any buffer: a tick missing one
+	// modelled sensor must leave the stream state untouched, not advance the
+	// sensors iterated before the error was noticed.
 	for name := range s.model.languages {
-		ev, ok := tick[name]
-		if !ok {
+		if _, ok := tick[name]; !ok {
 			return nil, fmt.Errorf("%w: %q missing from tick %d", ErrMisaligned, name, s.ticks)
 		}
-		buf := append(s.buf[name], ev)
+	}
+	for name := range s.model.languages {
+		buf := append(s.buf[name], tick[name])
 		if len(buf) > s.span {
 			buf = buf[len(buf)-s.span:]
 		}

@@ -96,6 +96,64 @@ func TestStreamErrors(t *testing.T) {
 	}
 }
 
+// TestStreamBadTickLeavesStateIntact is the regression test for the Push
+// bug where a tick missing one modelled sensor advanced the buffers of
+// sensors iterated before the error was noticed: a rejected tick must leave
+// the stream state untouched, so a bad tick followed by good ones behaves
+// exactly like the good ticks alone.
+func TestStreamBadTickLeavesStateIntact(t *testing.T) {
+	model := trainTiny(t)
+	rng := rand.New(rand.NewSource(57))
+	ds := coupledDataset(rng, 120)
+
+	dirty := model.NewStream()
+	control := model.NewStream()
+	readingAt := func(tick int) map[string]string {
+		r := make(map[string]string, len(ds.Sequences))
+		for _, s := range ds.Sequences {
+			r[s.Sensor] = s.Events[tick]
+		}
+		return r
+	}
+
+	for tick := 0; tick < ds.Ticks(); tick++ {
+		// Hammer the dirty stream with invalid ticks; map iteration order is
+		// random, so repeating makes it overwhelmingly likely some sensor
+		// would have been (wrongly) advanced under the old code.
+		if tick == 3 {
+			for i := 0; i < 10; i++ {
+				bad := readingAt(tick)
+				delete(bad, "b")
+				if _, err := dirty.Push(bad); err == nil {
+					t.Fatal("tick missing a modelled sensor accepted")
+				}
+			}
+			// A rejected tick must not advance state.
+			if dirty.Ticks() != control.Ticks() {
+				t.Fatalf("bad ticks consumed: %d vs %d", dirty.Ticks(), control.Ticks())
+			}
+			for name, buf := range dirty.buf {
+				if len(buf) != len(control.buf[name]) {
+					t.Fatalf("sensor %q buffer advanced by rejected tick: %d vs %d",
+						name, len(buf), len(control.buf[name]))
+				}
+			}
+		}
+		r := readingAt(tick)
+		pd, errD := dirty.Push(r)
+		pc, errC := control.Push(r)
+		if errD != nil || errC != nil {
+			t.Fatalf("tick %d: %v / %v", tick, errD, errC)
+		}
+		if (pd == nil) != (pc == nil) {
+			t.Fatalf("tick %d: emission mismatch after bad tick", tick)
+		}
+		if pd != nil && pd.Score != pc.Score {
+			t.Fatalf("tick %d: score %v diverged from control %v", tick, pd.Score, pc.Score)
+		}
+	}
+}
+
 // TestStreamDetectsLiveBreak runs a live scenario: normal ticks, then the
 // coupling breaks mid-stream and scores must rise.
 func TestStreamDetectsLiveBreak(t *testing.T) {

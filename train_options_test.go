@@ -1,0 +1,192 @@
+package mdes
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// TestTrainWithOptionsCheckpointResume covers the acceptance path: a
+// checkpointed run cancelled partway, then resumed, must retrain only the
+// unfinished pairs and produce a graph whose edges are bit-identical to an
+// uninterrupted run with the same seed.
+func TestTrainWithOptionsCheckpointResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	full := coupledDataset(rng, 500)
+	train, dev, _, err := full.Split(380, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyTestConfig()
+	cfg.Workers = 2
+	fw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	baseline, err := fw.Train(ctx, train, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel once two pairs have been journaled.
+	ckpt := filepath.Join(t.TempDir(), "train.journal")
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_, err = fw.TrainWithOptions(cctx, train, dev, TrainOptions{
+		Checkpoint: ckpt,
+		Progress: func(p TrainProgress) {
+			if p.Done >= 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v, want context.Canceled", err)
+	}
+
+	// Resume: restored pairs come from the journal, the rest retrain with
+	// their original per-index seeds.
+	var initial, last TrainProgress
+	resumedModel, err := fw.TrainWithOptions(ctx, train, dev, TrainOptions{
+		Checkpoint: ckpt,
+		Resume:     true,
+		Progress: func(p TrainProgress) {
+			if p.Src == "" {
+				initial = p
+			}
+			last = p
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial.Resumed < 2 {
+		t.Fatalf("resume restored %d pairs, want >= 2 (progress: %+v)", initial.Resumed, initial)
+	}
+	if last.Done != last.Total || last.Total != 6 {
+		t.Fatalf("final progress %d/%d, want 6/6", last.Done, last.Total)
+	}
+	if last.BLEUs.Min > last.BLEUs.Median || last.BLEUs.Median > last.BLEUs.Max {
+		t.Fatalf("BLEU stats unordered: %+v", last.BLEUs)
+	}
+
+	be := baseline.Graph().Edges()
+	if len(be) != resumedModel.Graph().NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", len(be), resumedModel.Graph().NumEdges())
+	}
+	for _, e := range be {
+		s, ok := resumedModel.Graph().Score(e.Src, e.Tgt)
+		if !ok || s != e.Score { // exact float equality: bit-identical edges
+			t.Fatalf("edge %s->%s: resumed %v, uninterrupted %v", e.Src, e.Tgt, s, e.Score)
+		}
+	}
+
+	// The resumed model must also behave identically end to end.
+	test := coupledDataset(rand.New(rand.NewSource(7)), 200)
+	p1, err := baseline.Detect(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := resumedModel.Detect(ctx, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i].Score != p2[i].Score {
+			t.Fatalf("detection diverged at %d: %v vs %v", i, p1[i].Score, p2[i].Score)
+		}
+	}
+}
+
+func TestTrainOptionsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	full := coupledDataset(rng, 500)
+	train, dev, _, err := full.Split(380, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(tinyTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Resume without a checkpoint path is a configuration error.
+	if _, err := fw.TrainWithOptions(ctx, train, dev, TrainOptions{Resume: true}); err == nil {
+		t.Fatal("Resume without Checkpoint accepted")
+	}
+
+	// A non-empty journal without Resume must refuse rather than mix runs.
+	ckpt := filepath.Join(t.TempDir(), "train.journal")
+	if _, err := fw.TrainWithOptions(ctx, train, dev, TrainOptions{Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.TrainWithOptions(ctx, train, dev, TrainOptions{Checkpoint: ckpt}); err == nil {
+		t.Fatal("existing journal without Resume accepted")
+	}
+
+	// With Resume, a fully journaled run restores everything and trains
+	// nothing new.
+	var last TrainProgress
+	m, err := fw.TrainWithOptions(ctx, train, dev, TrainOptions{
+		Checkpoint: ckpt, Resume: true,
+		Progress: func(p TrainProgress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Resumed != 6 || last.Done != 6 {
+		t.Fatalf("full resume progress = %+v, want 6 resumed / 6 done", last)
+	}
+	if m.Graph().NumEdges() != 6 {
+		t.Fatalf("resumed model has %d edges", m.Graph().NumEdges())
+	}
+}
+
+// TestSaveRefusesSeparatorInSensorName: the persistence format joins pair
+// keys with '\x1f'; a sensor name containing it must fail Save loudly instead
+// of producing a file Load cannot split.
+func TestSaveRefusesSeparatorInSensorName(t *testing.T) {
+	model := trainTiny(t)
+	model.languages["bad\x1fname"] = model.languages["a"]
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err == nil {
+		t.Fatal("sensor name with \\x1f accepted by Save")
+	}
+	delete(model.languages, "bad\x1fname")
+
+	model.pairs[[2]string{"x\x1fy", "b"}] = model.pairs[[2]string{"a", "b"}]
+	if err := model.Save(&buf); err == nil {
+		t.Fatal("pair key with \\x1f accepted by Save")
+	}
+}
+
+// TestLoadRejectsHalfEmptyPairKeys: keys like "\x1fX" or "A\x1f" used to load
+// silently with an empty sensor name; both halves must be non-empty.
+func TestLoadRejectsHalfEmptyPairKeys(t *testing.T) {
+	for _, key := range []string{`\u001fX`, `A\u001f`, `\u001f`, `AX`} {
+		blob := []byte(`{"pairs":{"` + key + `":{}}}`)
+		if _, err := Load(bytes.NewReader(blob)); err == nil {
+			t.Fatalf("malformed pair key %q accepted", key)
+		}
+	}
+}
+
+// TestDetectMisalignedSentenceCounts: if sensors disagree on sentence counts
+// (here forced via a diverged language config), detection must return
+// ErrMisaligned instead of indexing past the shorter side.
+func TestDetectMisalignedSentenceCounts(t *testing.T) {
+	model := trainTiny(t)
+	model.languages["c"].Config.SentenceStride = 1 // c now yields more sentences
+	rng := rand.New(rand.NewSource(8))
+	ds := coupledDataset(rng, 200)
+	_, err := model.Detect(context.Background(), ds)
+	if !errors.Is(err, ErrMisaligned) {
+		t.Fatalf("err = %v, want ErrMisaligned", err)
+	}
+}
