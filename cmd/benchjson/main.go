@@ -1,0 +1,134 @@
+// Command benchjson turns `go test -json -bench ...` output into a compact
+// JSON report of benchmark results, one object per benchmark:
+//
+//	go test -json -bench=. -benchtime=1x -benchmem ./... | benchjson > BENCH_kernels.json
+//
+// It reads the test2json event stream on stdin, extracts the benchmark result
+// lines (the "BenchmarkX-8  100  123 ns/op  456 B/op  7 allocs/op" Output
+// events), and emits a sorted JSON array with parsed metrics. CI uses it to
+// publish a machine-readable benchmark artifact per run so kernel regressions
+// show up as a diff, not a log-dive.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json stream benchjson cares about.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes a test2json stream and returns the benchmark results, sorted
+// by package then name so the output is diff-stable across runs.
+func parse(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate non-JSON lines (plain `go test` output piped in by
+			// mistake still yields results if the lines parse as benchmarks).
+			if res, ok := parseBenchLine("", string(line)); ok {
+				results = append(results, res)
+			}
+			continue
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		if res, ok := parseBenchLine(ev.Package, ev.Output); ok {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Package != results[j].Package {
+			return results[i].Package < results[j].Package
+		}
+		return results[i].Name < results[j].Name
+	})
+	return results, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-P  N  X ns/op [Y B/op  Z allocs/op]"
+// result line. Returns ok=false for anything else.
+func parseBenchLine(pkg, line string) (Result, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	// Second field is the iteration count; names like "BenchmarkFoo" alone
+	// (the pre-run announcement line) do not have one.
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Package: pkg, Name: fields[0], Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			res.NsPerOp = f
+			seen = true
+		case "B/op":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			res.BytesPerOp = n
+		case "allocs/op":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			res.AllocsPerOp = n
+		}
+	}
+	return res, seen
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleStream = `{"Action":"start","Package":"mdes/internal/mat"}
+{"Action":"output","Package":"mdes/internal/mat","Output":"goos: linux\n"}
+{"Action":"output","Package":"mdes/internal/mat","Output":"BenchmarkMulVec128x32\n"}
+{"Action":"output","Package":"mdes/internal/mat","Output":"BenchmarkMulVec128x32-8   \t  751126\t      1555 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"mdes/internal/nn","Output":"BenchmarkLSTMStep-8   \t  253432\t      4627 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Package":"mdes/internal/nmt","Output":"BenchmarkTrainPair-8   \t       1\t 123456789 ns/op\t  618034 B/op\t    2467 allocs/op\n"}
+{"Action":"output","Package":"mdes/internal/mat","Output":"ok  \tmdes/internal/mat\t2.1s\n"}
+{"Action":"pass","Package":"mdes/internal/mat"}
+not json at all
+`
+
+func TestParseStream(t *testing.T) {
+	results, err := parse(strings.NewReader(sampleStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(results), results)
+	}
+	// Sorted by package then name.
+	if results[0].Name != "BenchmarkMulVec128x32-8" || results[0].Package != "mdes/internal/mat" {
+		t.Errorf("results[0] = %+v", results[0])
+	}
+	if results[0].NsPerOp != 1555 || results[0].Iterations != 751126 {
+		t.Errorf("mat metrics wrong: %+v", results[0])
+	}
+	// "mdes/internal/nmt" sorts before "mdes/internal/nn" ('m' < 'n').
+	if results[2].Name != "BenchmarkLSTMStep-8" || results[2].AllocsPerOp != 0 {
+		t.Errorf("results[2] = %+v", results[2])
+	}
+	tp := results[1]
+	if tp.Name != "BenchmarkTrainPair-8" || tp.BytesPerOp != 618034 || tp.AllocsPerOp != 2467 {
+		t.Errorf("trainpair metrics wrong: %+v", tp)
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+	}{
+		{"BenchmarkFoo-8  100  12.5 ns/op", true},
+		{"BenchmarkFoo-8  100  12.5 ns/op  3 B/op  1 allocs/op", true},
+		{"BenchmarkFoo", false},           // announcement line, no metrics
+		{"BenchmarkFoo-8 junk ns", false}, // unparseable iterations
+		{"ok  \tmdes\t1.0s", false},
+		{"PASS", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if _, ok := parseBenchLine("p", c.line); ok != c.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+		}
+	}
+
+	res, ok := parseBenchLine("p", "BenchmarkBar-4  7  99 ns/op  8 B/op  2 allocs/op")
+	if !ok || res.Iterations != 7 || res.NsPerOp != 99 || res.BytesPerOp != 8 || res.AllocsPerOp != 2 {
+		t.Errorf("full line parse wrong: %+v ok=%v", res, ok)
+	}
+}
+
+func TestParsePlainTextFallback(t *testing.T) {
+	plain := "goos: linux\nBenchmarkBaz-2  3  42 ns/op\nPASS\n"
+	results, err := parse(strings.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkBaz-2" || results[0].NsPerOp != 42 {
+		t.Fatalf("plain-text fallback wrong: %+v", results)
+	}
+}

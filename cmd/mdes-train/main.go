@@ -20,6 +20,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mdes"
@@ -55,8 +57,36 @@ func run(args []string, stdout io.Writer) error {
 	ckpt := fs.String("checkpoint", "", "journal finished pairs to this file (crash/cancel safe)")
 	resume := fs.Bool("resume", false, "skip pairs already in the -checkpoint journal")
 	progressEvery := fs.Duration("progress-every", 2*time.Second, "minimum interval between progress lines")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			mf, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mdes-train: memprofile:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // flush pending frees so the profile shows live heap
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "mdes-train: memprofile:", err)
+			}
+		}()
 	}
 
 	if *in == "" || *trainTicks <= 0 || *devTicks < 0 {

@@ -145,6 +145,39 @@ func loadEdges(t *testing.T, path string) map[[2]string]float64 {
 	return out
 }
 
+// TestTrainProfileFlags runs a tiny training job with -cpuprofile and
+// -memprofile and checks both files come out non-empty (pprof's gzip header
+// alone is a few dozen bytes; a missing StopCPUProfile would leave zero).
+func TestTrainProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.csv")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	writeToyLog(t, logPath, 420)
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-in", logPath, "-train-ticks", "300", "-dev-ticks", "120",
+		"-word", "3", "-sentence", "4", "-sentence-stride", "4",
+		"-hidden", "12", "-layers", "1", "-steps", "20",
+		"-valid-lo", "0", "-valid-hi", "100",
+		"-model", filepath.Join(dir, "model.json"),
+		"-cpuprofile", cpuPath, "-memprofile", memPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
 func TestTrainUsageErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, &out); err == nil {

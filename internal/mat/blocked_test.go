@@ -1,0 +1,261 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Naive reference kernels: the original scalar loops the blocked kernels
+// replaced. The blocked kernels must agree with these bit for bit — not just
+// within an epsilon — because the NMT golden tests assert bit-identical
+// training trajectories across kernel changes.
+
+func naiveMulVec(m *Matrix, dst, x []float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum float64
+		for j, w := range row {
+			sum += w * x[j]
+		}
+		dst[i] = sum
+	}
+}
+
+func naiveMulVecAdd(m *Matrix, dst, x []float64) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var sum float64
+		for j, w := range row {
+			sum += w * x[j]
+		}
+		dst[i] += sum
+	}
+}
+
+func naiveMulVecTAdd(m *Matrix, dst, x []float64) {
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+func naiveAddOuter(m *Matrix, a, b []float64) {
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, bj := range b {
+			row[j] += ai * bj
+		}
+	}
+}
+
+// bitEqual compares float64 slices by bit pattern, distinguishing ±0 and
+// treating equal NaN payloads as equal.
+func bitEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func randSlice(rng *rand.Rand, n int, zeroFrac float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if rng.Float64() < zeroFrac {
+			continue // leave exact zeros to exercise the skip paths
+		}
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// TestBlockedKernelsBitIdentical sweeps row counts around the block width
+// (remainders 0–3), with and without zero multipliers, and checks every
+// blocked kernel against its naive reference bit for bit.
+func TestBlockedKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, rows := range []int{1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 33} {
+		for _, cols := range []int{1, 3, 4, 8, 17} {
+			for _, zeroFrac := range []float64{0, 0.3, 1} {
+				m := New(rows, cols)
+				for i := range m.Data {
+					m.Data[i] = rng.NormFloat64()
+				}
+
+				x := randSlice(rng, cols, zeroFrac)
+				got := make([]float64, rows)
+				want := make([]float64, rows)
+				m.MulVec(got, x)
+				naiveMulVec(m, want, x)
+				if !bitEqual(got, want) {
+					t.Fatalf("MulVec %dx%d zf=%v: %v != %v", rows, cols, zeroFrac, got, want)
+				}
+
+				got2 := randSlice(rng, rows, 0)
+				want2 := append([]float64(nil), got2...)
+				m.MulVecAdd(got2, x)
+				naiveMulVecAdd(m, want2, x)
+				if !bitEqual(got2, want2) {
+					t.Fatalf("MulVecAdd %dx%d zf=%v: %v != %v", rows, cols, zeroFrac, got2, want2)
+				}
+
+				xt := randSlice(rng, rows, zeroFrac)
+				got3 := randSlice(rng, cols, 0)
+				want3 := append([]float64(nil), got3...)
+				m.MulVecTAdd(got3, xt)
+				naiveMulVecTAdd(m, want3, xt)
+				if !bitEqual(got3, want3) {
+					t.Fatalf("MulVecTAdd %dx%d zf=%v: %v != %v", rows, cols, zeroFrac, got3, want3)
+				}
+
+				got4 := make([]float64, cols)
+				m.MulVecT(got4, xt)
+				want4 := make([]float64, cols)
+				naiveMulVecTAdd(m, want4, xt)
+				if !bitEqual(got4, want4) {
+					t.Fatalf("MulVecT %dx%d zf=%v: %v != %v", rows, cols, zeroFrac, got4, want4)
+				}
+
+				a := randSlice(rng, rows, zeroFrac)
+				b := randSlice(rng, cols, 0)
+				gotM := m.Clone()
+				wantM := m.Clone()
+				gotM.AddOuter(a, b)
+				naiveAddOuter(wantM, a, b)
+				if !bitEqual(gotM.Data, wantM.Data) {
+					t.Fatalf("AddOuter %dx%d zf=%v differs", rows, cols, zeroFrac)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedKernelsPreserveZeroSkip pins the semantic reason the zero skip
+// exists: a zero multiplier must not touch the destination at all, even when
+// the weight is Inf (w·0 would be NaN) or the destination holds −0.
+func TestBlockedKernelsPreserveZeroSkip(t *testing.T) {
+	m := New(8, 4)
+	for i := range m.Data {
+		m.Data[i] = math.Inf(1)
+	}
+	x := make([]float64, 8) // all zero: every row skipped
+	dst := []float64{math.Copysign(0, -1), 1, 2, 3}
+	want := append([]float64(nil), dst...)
+	m.MulVecTAdd(dst, x)
+	if !bitEqual(dst, want) {
+		t.Fatalf("zero multipliers must leave dst untouched: %v != %v", dst, want)
+	}
+	gotM := m.Clone()
+	gotM.AddOuter(x, []float64{1, 2, 3, 4})
+	if !bitEqual(gotM.Data, m.Data) {
+		t.Fatal("AddOuter with all-zero a must not modify the matrix")
+	}
+	// Mixed block: one zero among four rows takes the fallback path and must
+	// still match the naive reference.
+	xm := []float64{1, 0, 2, 3, 0, 0, 4, 5}
+	m2 := New(8, 4)
+	rng := rand.New(rand.NewSource(2))
+	for i := range m2.Data {
+		m2.Data[i] = rng.NormFloat64()
+	}
+	got := make([]float64, 4)
+	want2 := make([]float64, 4)
+	m2.MulVecT(got, xm)
+	naiveMulVecTAdd(m2, want2, xm)
+	if !bitEqual(got, want2) {
+		t.Fatalf("mixed-block MulVecT: %v != %v", got, want2)
+	}
+}
+
+// TestSigTanhGatesMatchesUnfused checks the fused gate kernel against the
+// separate Sigmoid/Tanh passes bit for bit.
+func TestSigTanhGatesMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, h := range []int{1, 2, 5, 32} {
+		gates := randSlice(rng, 4*h, 0.1)
+		want := append([]float64(nil), gates...)
+		SigTanhGates(gates, h)
+		Sigmoid(want[0:h])
+		Sigmoid(want[h : 2*h])
+		Tanh(want[2*h : 3*h])
+		Sigmoid(want[3*h : 4*h])
+		if !bitEqual(gates, want) {
+			t.Fatalf("SigTanhGates h=%d: %v != %v", h, gates, want)
+		}
+	}
+}
+
+func TestSigTanhGatesPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on misaligned gate vector")
+		}
+	}()
+	SigTanhGates(make([]float64, 7), 2)
+}
+
+// --- kernel benchmarks ------------------------------------------------------
+
+func benchMatrix(rows, cols int) (*Matrix, []float64, []float64) {
+	rng := rand.New(rand.NewSource(9))
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	x := randSlice(rng, cols, 0)
+	xt := randSlice(rng, rows, 0)
+	return m, x, xt
+}
+
+func BenchmarkMulVec128x32(b *testing.B) {
+	m, x, _ := benchMatrix(128, 32)
+	dst := make([]float64, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}
+
+func BenchmarkMulVecT128x32(b *testing.B) {
+	m, _, xt := benchMatrix(128, 32)
+	dst := make([]float64, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecT(dst, xt)
+	}
+}
+
+func BenchmarkAddOuter128x32(b *testing.B) {
+	m, x, xt := benchMatrix(128, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AddOuter(xt, x)
+	}
+}
+
+func BenchmarkSigTanhGates128(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	gates := randSlice(rng, 128, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SigTanhGates(gates, 32)
+	}
+}

@@ -99,6 +99,14 @@ func (m *Matrix) String() string {
 	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
 }
 
+// The mat-vec kernels below are row-blocked: they walk four output rows per
+// pass over the input vector, which amortises loads of x and roughly halves
+// the loop overhead of the naive scalar loops. Accumulation *within* each
+// output element stays strictly sequential (each dst element sees the exact
+// same chain of adds as the naive loop), so results are bit-identical to the
+// unblocked kernels — including the sign of zeros and NaN/Inf propagation.
+// mat_test.go pins this equivalence exactly.
+
 // MulVec computes dst = m · x where x has length m.Cols and dst length m.Rows.
 // dst must not alias x.
 func (m *Matrix) MulVec(dst, x []float64) {
@@ -106,8 +114,27 @@ func (m *Matrix) MulVec(dst, x []float64) {
 		panic(fmt.Sprintf("mat: MulVec shape mismatch %dx%d · %d -> %d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	n := m.Cols
+	i := 0
+	for ; i+4 <= m.Rows; i += 4 {
+		r0 := m.Data[(i+0)*n : (i+0)*n+n]
+		r1 := m.Data[(i+1)*n : (i+1)*n+n]
+		r2 := m.Data[(i+2)*n : (i+2)*n+n]
+		r3 := m.Data[(i+3)*n : (i+3)*n+n]
+		var s0, s1, s2, s3 float64
+		for j, xj := range x {
+			s0 += r0[j] * xj
+			s1 += r1[j] * xj
+			s2 += r2[j] * xj
+			s3 += r3[j] * xj
+		}
+		dst[i+0] = s0
+		dst[i+1] = s1
+		dst[i+2] = s2
+		dst[i+3] = s3
+	}
+	for ; i < m.Rows; i++ {
+		row := m.Data[i*n : i*n+n]
 		var sum float64
 		for j, w := range row {
 			sum += w * x[j]
@@ -122,8 +149,27 @@ func (m *Matrix) MulVecAdd(dst, x []float64) {
 		panic(fmt.Sprintf("mat: MulVecAdd shape mismatch %dx%d · %d -> %d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	n := m.Cols
+	i := 0
+	for ; i+4 <= m.Rows; i += 4 {
+		r0 := m.Data[(i+0)*n : (i+0)*n+n]
+		r1 := m.Data[(i+1)*n : (i+1)*n+n]
+		r2 := m.Data[(i+2)*n : (i+2)*n+n]
+		r3 := m.Data[(i+3)*n : (i+3)*n+n]
+		var s0, s1, s2, s3 float64
+		for j, xj := range x {
+			s0 += r0[j] * xj
+			s1 += r1[j] * xj
+			s2 += r2[j] * xj
+			s3 += r3[j] * xj
+		}
+		dst[i+0] += s0
+		dst[i+1] += s1
+		dst[i+2] += s2
+		dst[i+3] += s3
+	}
+	for ; i < m.Rows; i++ {
+		row := m.Data[i*n : i*n+n]
 		var sum float64
 		for j, w := range row {
 			sum += w * x[j]
@@ -141,16 +187,7 @@ func (m *Matrix) MulVecT(dst, x []float64) {
 	for j := range dst {
 		dst[j] = 0
 	}
-	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, w := range row {
-			dst[j] += w * xi
-		}
-	}
+	m.mulVecTAdd(dst, x)
 }
 
 // MulVecTAdd computes dst += mᵀ · x.
@@ -159,12 +196,51 @@ func (m *Matrix) MulVecTAdd(dst, x []float64) {
 		panic(fmt.Sprintf("mat: MulVecTAdd shape mismatch %dx%dᵀ · %d -> %d",
 			m.Rows, m.Cols, len(x), len(dst)))
 	}
-	for i := 0; i < m.Rows; i++ {
+	m.mulVecTAdd(dst, x)
+}
+
+// mulVecTAdd is the shared blocked kernel behind MulVecT/MulVecTAdd. Rows
+// whose x entry is exactly zero contribute nothing and are skipped — the same
+// short-circuit the naive loop takes, kept so blocked and naive results agree
+// bit for bit (adding w·0 could flip a −0 or turn an Inf weight into NaN).
+// Blocks containing a zero fall back to the per-row loop.
+func (m *Matrix) mulVecTAdd(dst, x []float64) {
+	n := m.Cols
+	i := 0
+	for ; i+4 <= m.Rows; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		if x0 == 0 || x1 == 0 || x2 == 0 || x3 == 0 {
+			for k := i; k < i+4; k++ {
+				xk := x[k]
+				if xk == 0 {
+					continue
+				}
+				row := m.Data[k*n : k*n+n]
+				for j, w := range row {
+					dst[j] += w * xk
+				}
+			}
+			continue
+		}
+		r0 := m.Data[(i+0)*n : (i+0)*n+n]
+		r1 := m.Data[(i+1)*n : (i+1)*n+n]
+		r2 := m.Data[(i+2)*n : (i+2)*n+n]
+		r3 := m.Data[(i+3)*n : (i+3)*n+n]
+		for j := range dst[:n] {
+			s := dst[j]
+			s += r0[j] * x0
+			s += r1[j] * x1
+			s += r2[j] * x2
+			s += r3[j] * x3
+			dst[j] = s
+		}
+	}
+	for ; i < m.Rows; i++ {
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		row := m.Data[i*n : i*n+n]
 		for j, w := range row {
 			dst[j] += w * xi
 		}
@@ -172,17 +248,48 @@ func (m *Matrix) MulVecTAdd(dst, x []float64) {
 }
 
 // AddOuter accumulates the outer product dst += a ⊗ b, where dst is
-// len(a)×len(b).
+// len(a)×len(b). Like the mat-vec kernels it is row-blocked (four destination
+// rows share one pass over b) with zero entries of a skipped exactly as the
+// naive loop would, so results are bit-identical.
 func (m *Matrix) AddOuter(a, b []float64) {
 	if len(a) != m.Rows || len(b) != m.Cols {
 		panic(fmt.Sprintf("mat: AddOuter shape mismatch %dx%d += %d⊗%d",
 			m.Rows, m.Cols, len(a), len(b)))
 	}
-	for i, ai := range a {
+	n := m.Cols
+	i := 0
+	for ; i+4 <= m.Rows; i += 4 {
+		a0, a1, a2, a3 := a[i], a[i+1], a[i+2], a[i+3]
+		if a0 == 0 || a1 == 0 || a2 == 0 || a3 == 0 {
+			for k := i; k < i+4; k++ {
+				ak := a[k]
+				if ak == 0 {
+					continue
+				}
+				row := m.Data[k*n : k*n+n]
+				for j, bj := range b {
+					row[j] += ak * bj
+				}
+			}
+			continue
+		}
+		r0 := m.Data[(i+0)*n : (i+0)*n+n]
+		r1 := m.Data[(i+1)*n : (i+1)*n+n]
+		r2 := m.Data[(i+2)*n : (i+2)*n+n]
+		r3 := m.Data[(i+3)*n : (i+3)*n+n]
+		for j, bj := range b {
+			r0[j] += a0 * bj
+			r1[j] += a1 * bj
+			r2[j] += a2 * bj
+			r3[j] += a3 * bj
+		}
+	}
+	for ; i < m.Rows; i++ {
+		ai := a[i]
 		if ai == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		row := m.Data[i*n : i*n+n]
 		for j, bj := range b {
 			row[j] += ai * bj
 		}
@@ -298,5 +405,25 @@ func Tanh(x []float64) {
 func Sigmoid(x []float64) {
 	for i, v := range x {
 		x[i] = 1 / (1 + math.Exp(-v))
+	}
+}
+
+// SigTanhGates applies the LSTM gate nonlinearities in one fused pass over a
+// packed i|f|g|o pre-activation vector of length 4h: sigmoid on the input,
+// forget, and output segments and tanh on the candidate segment. Each element
+// gets exactly the arithmetic Sigmoid/Tanh would apply, so the fusion is
+// bit-identical to four separate slice passes.
+func SigTanhGates(gates []float64, h int) {
+	if len(gates) != 4*h {
+		panic(fmt.Sprintf("mat: SigTanhGates length %d, want 4*%d", len(gates), h))
+	}
+	for i, v := range gates[:2*h] {
+		gates[i] = 1 / (1 + math.Exp(-v))
+	}
+	for i, v := range gates[2*h : 3*h] {
+		gates[2*h+i] = math.Tanh(v)
+	}
+	for i, v := range gates[3*h:] {
+		gates[3*h+i] = 1 / (1 + math.Exp(-v))
 	}
 }

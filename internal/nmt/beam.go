@@ -39,7 +39,7 @@ func (m *Model) TranslateBeam(src []int, width int) []int {
 	if width <= 1 {
 		return m.Translate(src)
 	}
-	enc := m.encode(src, false)
+	enc := m.encode(src, false, nil)
 
 	beams := []*beamHypothesis{{
 		state:   enc.final.Clone(),

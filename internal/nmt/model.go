@@ -11,10 +11,12 @@ package nmt
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"mdes/internal/mat"
 	"mdes/internal/nn"
@@ -98,6 +100,63 @@ type Model struct {
 	out    *nn.Linear
 	opt    *nn.Adam
 	rng    *rand.Rand
+
+	// wsPool hands out per-goroutine scratch workspaces so the train and
+	// decode inner loops reuse memory instead of allocating per timestep.
+	wsPool sync.Pool
+
+	// Greedy decoding is deterministic, and discrete event languages repeat
+	// the same sentences constantly, so Translate memoises its output per
+	// source sentence. The cache is invalidated whenever weights change.
+	transMu  sync.Mutex
+	trans    map[string][]int
+	transOff bool
+}
+
+// transCacheCap bounds the translation cache; when full, the whole map is
+// dropped (deterministic, and a full drop is simpler than eviction for the
+// tiny, highly repetitive languages the framework builds).
+const transCacheCap = 4096
+
+func (m *Model) getWS() *nn.Workspace {
+	if v := m.wsPool.Get(); v != nil {
+		return v.(*nn.Workspace)
+	}
+	return nn.NewWorkspace()
+}
+
+func (m *Model) putWS(ws *nn.Workspace) {
+	ws.Reset()
+	m.wsPool.Put(ws)
+}
+
+// SetTranslationCaching toggles the per-model translation cache (on by
+// default). Turning it off also drops any cached translations; exposed mainly
+// so tests can compare cached and uncached scoring.
+func (m *Model) SetTranslationCaching(on bool) {
+	m.transMu.Lock()
+	m.transOff = !on
+	m.trans = nil
+	m.transMu.Unlock()
+}
+
+// invalidateTranslations drops all cached translations; called whenever the
+// model's weights change.
+func (m *Model) invalidateTranslations() {
+	m.transMu.Lock()
+	m.trans = nil
+	m.transMu.Unlock()
+}
+
+// transKey packs a token sequence into a map key.
+func transKey(toks []int) string {
+	var tmp [binary.MaxVarintLen64]byte
+	buf := make([]byte, 0, 2*len(toks))
+	for _, t := range toks {
+		n := binary.PutVarint(tmp[:], int64(t))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
 }
 
 // NewModel builds a model with freshly initialised weights drawn from seed.
@@ -159,23 +218,30 @@ type encodeResult struct {
 	final  *nn.StackState
 }
 
-func (m *Model) encode(src []int, train bool) *encodeResult {
+func (m *Model) encode(src []int, train bool, ws *nn.Workspace) *encodeResult {
 	res := &encodeResult{
 		states: make([]*nn.StackState, 0, len(src)),
 		caches: make([]*nn.StackStep, 0, len(src)),
 		top:    make([][]float64, 0, len(src)),
 	}
-	st := m.enc.ZeroState()
+	// Gather the (clamped) source embedding rows once per encoder pass; the
+	// per-step loop then touches only the recurrent math.
+	embs := make([][]float64, len(src))
+	for i, tok := range src {
+		embs[i] = m.srcEmb.Lookup(m.clampSrc(tok))
+	}
+	st := m.enc.ZeroStateWS(ws)
 	var rng *rand.Rand
 	if train {
 		rng = m.rng
 	}
-	for _, tok := range src {
-		next, cache := m.enc.Step(st, m.srcEmb.Lookup(m.clampSrc(tok)), rng)
+	top := m.enc.Layers() - 1
+	for _, emb := range embs {
+		next, cache := m.enc.StepWS(ws, st, emb, rng)
 		st = next
 		res.states = append(res.states, st)
 		res.caches = append(res.caches, cache)
-		res.top = append(res.top, st.H[m.enc.Layers()-1])
+		res.top = append(res.top, st.H[top])
 	}
 	res.final = st
 	return res
@@ -217,33 +283,36 @@ func (m *Model) TrainExampleContext(ctx context.Context, src, tgt []int) (loss f
 	if err := ctx.Err(); err != nil {
 		return 0, 0, err
 	}
-	enc := m.encode(src, true)
+	ws := m.getWS()
+	defer m.putWS(ws)
+	enc := m.encode(src, true, ws)
 
 	// Teacher forcing: input  = <s>, t1 … tn
 	//                  target = t1 … tn, </s>
-	inputs := make([]int, 0, len(tgt)+1)
-	inputs = append(inputs, BosID)
-	for _, tok := range tgt {
-		inputs = append(inputs, m.clampTgt(tok))
+	n := len(tgt) + 1
+	inputs := ws.Ints(n)
+	targets := ws.Ints(n)
+	inputs[0] = BosID
+	for i, tok := range tgt {
+		c := m.clampTgt(tok)
+		inputs[i+1] = c
+		targets[i] = c
 	}
-	targets := make([]int, 0, len(tgt)+1)
-	for _, tok := range tgt {
-		targets = append(targets, m.clampTgt(tok))
-	}
-	targets = append(targets, EosID)
+	targets[n-1] = EosID
 
-	st := enc.final.Clone()
-	decCaches := make([]*nn.StackStep, len(inputs))
-	attnSteps := make([]*nn.AttnStep, len(inputs))
-	probs := make([][]float64, len(inputs))
+	st := enc.final.CloneWS(ws)
+	decCaches := make([]*nn.StackStep, n)
+	attnSteps := make([]*nn.AttnStep, n)
+	probs := make([][]float64, n)
+	logits := ws.Vec(m.cfg.TgtVocab)
+	decTop := m.dec.Layers() - 1
 	for t, tok := range inputs {
 		var cache *nn.StackStep
-		st, cache = m.dec.Step(st, m.tgtEmb.Lookup(tok), m.rng)
+		st, cache = m.dec.StepWS(ws, st, m.tgtEmb.Lookup(tok), m.rng)
 		decCaches[t] = cache
-		attnSteps[t] = m.attn.Forward(enc.top, st.H[m.dec.Layers()-1])
-		logits := make([]float64, m.cfg.TgtVocab)
+		attnSteps[t] = m.attn.ForwardWS(ws, enc.top, st.H[decTop])
 		m.out.Forward(logits, attnSteps[t].HTilde)
-		p := make([]float64, m.cfg.TgtVocab)
+		p := ws.Vec(m.cfg.TgtVocab)
 		mat.Softmax(p, logits)
 		probs[t] = p
 		loss += -math.Log(math.Max(p[targets[t]], 1e-12))
@@ -256,42 +325,43 @@ func (m *Model) TrainExampleContext(ctx context.Context, src, tgt []int) (loss f
 	// Backward pass, walking the decoder in reverse time order.
 	dEnc := make([][]float64, len(src))
 	for i := range dEnc {
-		dEnc[i] = make([]float64, m.cfg.Hidden)
+		dEnc[i] = ws.Vec(m.cfg.Hidden)
 	}
-	carry := m.dec.ZeroGradState()
-	for t := len(inputs) - 1; t >= 0; t-- {
-		// d logits = p − one_hot(target).
-		dLogits := append([]float64(nil), probs[t]...)
+	carry := m.dec.ZeroGradStateWS(ws)
+	for t := n - 1; t >= 0; t-- {
+		// d logits = p − one_hot(target). probs[t] is not read again, so the
+		// subtraction happens in place instead of on a copy.
+		dLogits := probs[t]
 		dLogits[targets[t]] -= 1
-		dHTilde := make([]float64, m.cfg.Hidden)
+		dHTilde := ws.Vec(m.cfg.Hidden)
 		m.out.Backward(dHTilde, attnSteps[t].HTilde, dLogits)
 
-		dTop := make([]float64, m.cfg.Hidden)
-		m.attn.Backward(attnSteps[t], dHTilde, dTop, dEnc)
+		dTop := ws.Vec(m.cfg.Hidden)
+		m.attn.BackwardWS(ws, attnSteps[t], dHTilde, dTop, dEnc)
 
-		dx := make([]float64, m.cfg.Embed)
-		m.dec.StepBackward(decCaches[t], dTop, carry, dx)
+		dx := ws.Vec(m.cfg.Embed)
+		m.dec.StepBackwardWS(ws, decCaches[t], dTop, carry, dx)
 		m.tgtEmb.Backward(inputs[t], dx)
 	}
 
 	// The decoder's initial state is the encoder's final state: the leftover
 	// carry flows into the encoder BPTT below at the last source step.
-	encCarry := m.enc.ZeroGradState()
+	encCarry := m.enc.ZeroGradStateWS(ws)
 	for l := 0; l < m.enc.Layers(); l++ {
 		copy(encCarry.DH[l], carry.DH[l])
 		copy(encCarry.DC[l], carry.DC[l])
 	}
-	zeroTop := make([]float64, m.cfg.Hidden)
+	zeroTop := ws.Vec(m.cfg.Hidden)
 	for t := len(src) - 1; t >= 0; t-- {
 		dTop := zeroTop
 		if len(dEnc[t]) > 0 {
 			dTop = dEnc[t]
 		}
-		dx := make([]float64, m.cfg.Embed)
-		m.enc.StepBackward(enc.caches[t], dTop, encCarry, dx)
+		dx := ws.Vec(m.cfg.Embed)
+		m.enc.StepBackwardWS(ws, enc.caches[t], dTop, encCarry, dx)
 		m.srcEmb.Backward(m.clampSrc(src[t]), dx)
 	}
-	return loss, len(targets), nil
+	return loss, n, nil
 }
 
 // TrainResult summarises a Train run.
@@ -348,6 +418,8 @@ func (m *Model) TrainContext(ctx context.Context, src, tgt [][]int) (TrainResult
 		}
 		m.params.ClipGrad(m.cfg.ClipNorm)
 		m.opt.Step(&m.params)
+		// Weights just changed; any memoised greedy decode is stale.
+		m.invalidateTranslations()
 		res.Steps++
 		res.FinalLoss = lossSum / float64(tokens)
 	}
@@ -356,20 +428,59 @@ func (m *Model) TrainContext(ctx context.Context, src, tgt [][]int) (TrainResult
 
 // Translate greedily decodes the source sentence and returns target token
 // ids (without BOS/EOS). Decoding stops at EOS or cfg.MaxDecodeLen.
+//
+// Greedy decoding is deterministic, so identical source sentences are served
+// from a per-model cache — the dedupe that makes corpus scoring and online
+// detection cheap on the highly repetitive languages the framework builds.
+// The returned slice is always a fresh copy the caller may modify.
 func (m *Model) Translate(src []int) []int {
 	if len(src) == 0 {
 		return nil
 	}
-	enc := m.encode(src, false)
-	st := enc.final.Clone()
+	var key string
+	m.transMu.Lock()
+	cacheOn := !m.transOff
+	if cacheOn {
+		key = transKey(src)
+		if hyp, ok := m.trans[key]; ok {
+			out := append([]int(nil), hyp...)
+			m.transMu.Unlock()
+			return out
+		}
+	}
+	m.transMu.Unlock()
+
+	out := m.translate(src)
+
+	if cacheOn {
+		m.transMu.Lock()
+		if !m.transOff {
+			if len(m.trans) >= transCacheCap {
+				m.trans = nil
+			}
+			if m.trans == nil {
+				m.trans = make(map[string][]int)
+			}
+			m.trans[key] = append([]int(nil), out...)
+		}
+		m.transMu.Unlock()
+	}
+	return out
+}
+
+// translate is the uncached greedy decode.
+func (m *Model) translate(src []int) []int {
+	ws := m.getWS()
+	defer m.putWS(ws)
+	enc := m.encode(src, false, ws)
+	st := enc.final.CloneWS(ws)
 	tok := BosID
 	out := make([]int, 0, m.cfg.MaxDecodeLen)
-	logits := make([]float64, m.cfg.TgtVocab)
+	logits := ws.Vec(m.cfg.TgtVocab)
+	decTop := m.dec.Layers() - 1
 	for t := 0; t < m.cfg.MaxDecodeLen; t++ {
-		var cache *nn.StackStep
-		st, cache = m.dec.Step(st, m.tgtEmb.Lookup(tok), nil)
-		_ = cache
-		attn := m.attn.Forward(enc.top, st.H[m.dec.Layers()-1])
+		st, _ = m.dec.StepWS(ws, st, m.tgtEmb.Lookup(tok), nil)
+		attn := m.attn.ForwardWS(ws, enc.top, st.H[decTop])
 		m.out.Forward(logits, attn.HTilde)
 		// Never emit BOS; treat it as masked out.
 		logits[BosID] = math.Inf(-1)
@@ -406,33 +517,30 @@ func (m *Model) Perplexity(src, tgt [][]int) (float64, error) {
 
 // scoreExample computes the teacher-forced cross-entropy without gradients.
 func (m *Model) scoreExample(src, tgt []int) (float64, int) {
-	enc := m.encode(src, false)
-	st := enc.final.Clone()
-	inputs := append([]int{BosID}, clampAll(tgt, m.cfg.TgtVocab)...)
-	targets := append(clampAll(tgt, m.cfg.TgtVocab), EosID)
+	ws := m.getWS()
+	defer m.putWS(ws)
+	enc := m.encode(src, false, ws)
+	st := enc.final.CloneWS(ws)
+	n := len(tgt) + 1
+	inputs := ws.Ints(n)
+	targets := ws.Ints(n)
+	inputs[0] = BosID
+	for i, tok := range tgt {
+		c := m.clampTgt(tok)
+		inputs[i+1] = c
+		targets[i] = c
+	}
+	targets[n-1] = EosID
 	var loss float64
-	logits := make([]float64, m.cfg.TgtVocab)
-	p := make([]float64, m.cfg.TgtVocab)
+	logits := ws.Vec(m.cfg.TgtVocab)
+	p := ws.Vec(m.cfg.TgtVocab)
+	decTop := m.dec.Layers() - 1
 	for t, tok := range inputs {
-		var cache *nn.StackStep
-		st, cache = m.dec.Step(st, m.tgtEmb.Lookup(tok), nil)
-		_ = cache
-		attn := m.attn.Forward(enc.top, st.H[m.dec.Layers()-1])
+		st, _ = m.dec.StepWS(ws, st, m.tgtEmb.Lookup(tok), nil)
+		attn := m.attn.ForwardWS(ws, enc.top, st.H[decTop])
 		m.out.Forward(logits, attn.HTilde)
 		mat.Softmax(p, logits)
 		loss += -math.Log(math.Max(p[targets[t]], 1e-12))
 	}
-	return loss, len(targets)
-}
-
-func clampAll(toks []int, vocab int) []int {
-	out := make([]int, len(toks))
-	for i, t := range toks {
-		if t < 0 || t >= vocab {
-			out[i] = UnkID
-		} else {
-			out[i] = t
-		}
-	}
-	return out
+	return loss, n
 }

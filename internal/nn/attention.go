@@ -91,29 +91,39 @@ type AttnStep struct {
 // Forward computes the attentional hidden state h̃ for decoder hidden h over
 // the encoder states enc (each of length Hidden). enc must be non-empty.
 func (a *LuongAttention) Forward(enc [][]float64, h []float64) *AttnStep {
+	return a.ForwardWS(nil, enc, h)
+}
+
+// ForwardWS is Forward with the weights/context/score buffers drawn from ws
+// (nil ws allocates). The returned cache is valid until ws.Reset.
+func (a *LuongAttention) ForwardWS(ws *Workspace, enc [][]float64, h []float64) *AttnStep {
 	checkLen("attention h", len(h), a.Hidden)
 	n := len(enc)
-	st := &AttnStep{
-		Enc: enc, H: h,
-		Weights: make([]float64, n),
-		Ctx:     make([]float64, a.Hidden),
-		Concat:  make([]float64, 2*a.Hidden),
-		HTilde:  make([]float64, a.Hidden),
+	var st *AttnStep
+	if ws == nil {
+		st = &AttnStep{}
+	} else {
+		st = ws.attnStep()
 	}
-	scores := make([]float64, n)
+	st.Enc, st.H = enc, h
+	st.Weights = wsVec(ws, n)
+	st.Ctx = wsVec(ws, a.Hidden)
+	st.Concat = wsVec(ws, 2*a.Hidden)
+	st.HTilde = wsVec(ws, a.Hidden)
+	scores := wsVec(ws, n)
 	switch a.Kind {
 	case AttentionDot:
 		for s, es := range enc {
 			scores[s] = mat.Dot(h, es)
 		}
 	case AttentionConcat:
-		st.Pair = make([][]float64, n)
-		st.TanhPre = make([][]float64, n)
+		st.Pair = wsSlices(ws, st.Pair, n)
+		st.TanhPre = wsSlices(ws, st.TanhPre, n)
 		for s, es := range enc {
-			pair := make([]float64, 2*a.Hidden)
+			pair := wsVec(ws, 2*a.Hidden)
 			copy(pair[:a.Hidden], h)
 			copy(pair[a.Hidden:], es)
-			pre := make([]float64, a.Hidden)
+			pre := wsVec(ws, a.Hidden)
 			a.Wa.W.MulVec(pre, pair)
 			mat.Tanh(pre)
 			st.Pair[s] = pair
@@ -121,9 +131,9 @@ func (a *LuongAttention) Forward(enc [][]float64, h []float64) *AttnStep {
 			scores[s] = mat.Dot(a.Va.W.Data, pre)
 		}
 	default: // AttentionGeneral
-		st.WaEnc = make([][]float64, n)
+		st.WaEnc = wsSlices(ws, st.WaEnc, n)
 		for s, es := range enc {
-			we := make([]float64, a.Hidden)
+			we := wsVec(ws, a.Hidden)
 			a.Wa.W.MulVec(we, es)
 			st.WaEnc[s] = we
 			scores[s] = mat.Dot(h, we)
@@ -140,24 +150,38 @@ func (a *LuongAttention) Forward(enc [][]float64, h []float64) *AttnStep {
 	return st
 }
 
+// wsSlices resizes an AttnStep's cached outer slice to length n with nil
+// elements, allocating only when ws is nil or the capacity is too small.
+func wsSlices(ws *Workspace, prev [][]float64, n int) [][]float64 {
+	if ws == nil {
+		return make([][]float64, n)
+	}
+	return resizeSlices(prev, n)
+}
+
 // Backward backpropagates dL/dh̃. It accumulates parameter gradients, adds
 // dL/dh into dh, and adds dL/dh̄_s into dEnc[s].
 func (a *LuongAttention) Backward(st *AttnStep, dHTilde []float64, dh []float64, dEnc [][]float64) {
+	a.BackwardWS(nil, st, dHTilde, dh, dEnc)
+}
+
+// BackwardWS is Backward with scratch buffers drawn from ws (nil allocates).
+func (a *LuongAttention) BackwardWS(ws *Workspace, st *AttnStep, dHTilde []float64, dh []float64, dEnc [][]float64) {
 	checkLen("attention dHTilde", len(dHTilde), a.Hidden)
 	checkLen("attention dh", len(dh), a.Hidden)
 	n := len(st.Enc)
 
-	dPre := make([]float64, a.Hidden)
+	dPre := wsVec(ws, a.Hidden)
 	for i, v := range dHTilde {
 		dPre[i] = v * (1 - st.HTilde[i]*st.HTilde[i])
 	}
-	dConcat := make([]float64, 2*a.Hidden)
+	dConcat := wsVec(ws, 2*a.Hidden)
 	a.Wc.Backward(dConcat, st.Concat, dPre)
 	dCtx := dConcat[:a.Hidden]
 	mat.Axpy(1, dConcat[a.Hidden:], dh)
 
 	// Context is Σ w_s·h̄_s.
-	dW := make([]float64, n)
+	dW := wsVec(ws, n)
 	for s, es := range st.Enc {
 		dW[s] = mat.Dot(dCtx, es)
 		mat.Axpy(st.Weights[s], dCtx, dEnc[s])
@@ -168,7 +192,7 @@ func (a *LuongAttention) Backward(st *AttnStep, dHTilde []float64, dh []float64,
 	for s, w := range st.Weights {
 		mix += w * dW[s]
 	}
-	dScores := make([]float64, n)
+	dScores := wsVec(ws, n)
 	for s, w := range st.Weights {
 		dScores[s] = w * (dW[s] - mix)
 	}
@@ -186,8 +210,8 @@ func (a *LuongAttention) Backward(st *AttnStep, dHTilde []float64, dh []float64,
 		}
 	case AttentionConcat:
 		// score_s = vᵀ·tanh(Wa·[h; h̄_s]).
-		dPair := make([]float64, 2*a.Hidden)
-		dPreBuf := make([]float64, a.Hidden)
+		dPair := wsVec(ws, 2*a.Hidden)
+		dPreBuf := wsVec(ws, a.Hidden)
 		for s := range st.Enc {
 			g := dScores[s]
 			if g == 0 {
@@ -205,7 +229,7 @@ func (a *LuongAttention) Backward(st *AttnStep, dHTilde []float64, dh []float64,
 		}
 	default: // AttentionGeneral
 		// score_s = hᵀ·(Wa·h̄_s).
-		buf := make([]float64, a.Hidden)
+		buf := wsVec(ws, a.Hidden)
 		for s, es := range st.Enc {
 			g := dScores[s]
 			if g == 0 {

@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"strconv"
 
 	"mdes/internal/mat"
 )
@@ -38,29 +39,38 @@ type LSTMStep struct {
 	C, TanhC, H     []float64
 }
 
-// Step runs one timestep. hPrev and cPrev must have length Hidden; x length
-// In. The returned cache owns fresh slices (inputs are referenced, not
-// copied).
+// Step runs one timestep with heap-allocated caches. Hot paths should prefer
+// StepWS, which reuses workspace memory across timesteps.
 func (l *LSTMCell) Step(x, hPrev, cPrev []float64) *LSTMStep {
+	return l.StepWS(nil, x, hPrev, cPrev)
+}
+
+// StepWS runs one timestep, drawing the gate and state buffers from ws (a nil
+// ws falls back to fresh heap slices). hPrev and cPrev must have length
+// Hidden; x length In. The returned cache and its buffers are valid until
+// ws.Reset (inputs are referenced, not copied).
+func (l *LSTMCell) StepWS(ws *Workspace, x, hPrev, cPrev []float64) *LSTMStep {
 	checkLen("lstm x", len(x), l.In)
 	checkLen("lstm hPrev", len(hPrev), l.Hidden)
 	checkLen("lstm cPrev", len(cPrev), l.Hidden)
 
 	h := l.Hidden
-	gates := make([]float64, 4*h)
+	gates := wsVec(ws, 4*h)
 	l.Wx.W.MulVec(gates, x)
 	l.Wh.W.MulVecAdd(gates, hPrev)
 	mat.Axpy(1, l.B.W.Data, gates)
 
-	st := &LSTMStep{
-		X: x, HPrev: hPrev, CPrev: cPrev,
-		I: gates[0:h], F: gates[h : 2*h], G: gates[2*h : 3*h], O: gates[3*h : 4*h],
-		C: make([]float64, h), TanhC: make([]float64, h), H: make([]float64, h),
+	var st *LSTMStep
+	if ws == nil {
+		st = &LSTMStep{}
+	} else {
+		st = ws.lstmStep()
 	}
-	mat.Sigmoid(st.I)
-	mat.Sigmoid(st.F)
-	mat.Tanh(st.G)
-	mat.Sigmoid(st.O)
+	state := wsVec(ws, 3*h)
+	st.X, st.HPrev, st.CPrev = x, hPrev, cPrev
+	st.I, st.F, st.G, st.O = gates[0:h], gates[h:2*h], gates[2*h:3*h], gates[3*h:4*h]
+	st.C, st.TanhC, st.H = state[0:h], state[h:2*h], state[2*h:3*h]
+	mat.SigTanhGates(gates, h)
 	for j := 0; j < h; j++ {
 		st.C[j] = st.F[j]*cPrev[j] + st.I[j]*st.G[j]
 		st.TanhC[j] = math.Tanh(st.C[j])
@@ -74,6 +84,12 @@ func (l *LSTMCell) Step(x, hPrev, cPrev []float64) *LSTMStep {
 // gradients and writes dL/dx into dx (accumulated), returning dhPrev and
 // dcPrev to carry to step t-1 (written into the provided buffers).
 func (l *LSTMCell) StepBackward(st *LSTMStep, dh, dc, dx, dhPrev, dcPrev []float64) {
+	l.StepBackwardWS(nil, st, dh, dc, dx, dhPrev, dcPrev)
+}
+
+// StepBackwardWS is StepBackward with its gate-gradient scratch drawn from ws
+// (nil ws allocates).
+func (l *LSTMCell) StepBackwardWS(ws *Workspace, st *LSTMStep, dh, dc, dx, dhPrev, dcPrev []float64) {
 	h := l.Hidden
 	checkLen("lstm dh", len(dh), h)
 	checkLen("lstm dc", len(dc), h)
@@ -81,7 +97,7 @@ func (l *LSTMCell) StepBackward(st *LSTMStep, dh, dc, dx, dhPrev, dcPrev []float
 	checkLen("lstm dhPrev", len(dhPrev), h)
 	checkLen("lstm dcPrev", len(dcPrev), h)
 
-	dGates := make([]float64, 4*h)
+	dGates := wsVec(ws, 4*h)
 	dI, dF, dG, dO := dGates[0:h], dGates[h:2*h], dGates[2*h:3*h], dGates[3*h:4*h]
 	for j := 0; j < h; j++ {
 		dcj := dc[j] + dh[j]*st.O[j]*(1-st.TanhC[j]*st.TanhC[j])
@@ -124,7 +140,10 @@ func NewStackedLSTM(p *Params, name string, layers, in, hidden int, dropout floa
 	return s
 }
 
-func nameLayer(name string, i int) string { return name + ".l" + string(rune('0'+i)) }
+// nameLayer names layer i of a stack. strconv.Itoa, not string(rune('0'+i)):
+// the rune form yields ":"/";"/… for layers past 9, colliding with nothing
+// today but producing garbage parameter names in snapshots.
+func nameLayer(name string, i int) string { return name + ".l" + strconv.Itoa(i) }
 
 // Hidden returns the hidden width of the stack.
 func (s *StackedLSTM) Hidden() int { return s.Cells[0].Hidden }
@@ -139,20 +158,44 @@ type StackState struct {
 
 // ZeroState returns an all-zero stack state.
 func (s *StackedLSTM) ZeroState() *StackState {
-	st := &StackState{H: make([][]float64, len(s.Cells)), C: make([][]float64, len(s.Cells))}
+	return s.ZeroStateWS(nil)
+}
+
+// ZeroStateWS returns an all-zero stack state drawn from ws (nil allocates).
+func (s *StackedLSTM) ZeroStateWS(ws *Workspace) *StackState {
+	var st *StackState
+	if ws == nil {
+		st = &StackState{H: make([][]float64, len(s.Cells)), C: make([][]float64, len(s.Cells))}
+	} else {
+		st = ws.stackState(len(s.Cells))
+	}
 	for i, c := range s.Cells {
-		st.H[i] = make([]float64, c.Hidden)
-		st.C[i] = make([]float64, c.Hidden)
+		st.H[i] = wsVec(ws, c.Hidden)
+		st.C[i] = wsVec(ws, c.Hidden)
 	}
 	return st
 }
 
 // Clone deep-copies a stack state.
 func (st *StackState) Clone() *StackState {
-	out := &StackState{H: make([][]float64, len(st.H)), C: make([][]float64, len(st.C))}
+	return st.CloneWS(nil)
+}
+
+// CloneWS deep-copies a stack state into workspace memory (nil allocates).
+func (st *StackState) CloneWS(ws *Workspace) *StackState {
+	var out *StackState
+	if ws == nil {
+		out = &StackState{H: make([][]float64, len(st.H)), C: make([][]float64, len(st.C))}
+	} else {
+		out = ws.stackState(len(st.H))
+	}
 	for i := range st.H {
-		out.H[i] = append([]float64(nil), st.H[i]...)
-		out.C[i] = append([]float64(nil), st.C[i]...)
+		h := wsVec(ws, len(st.H[i]))
+		copy(h, st.H[i])
+		out.H[i] = h
+		c := wsVec(ws, len(st.C[i]))
+		copy(c, st.C[i])
+		out.C[i] = c
 	}
 	return out
 }
@@ -172,17 +215,32 @@ type StackStep struct {
 // inverted dropout is applied between layers (training mode); a nil rng
 // disables dropout (inference mode).
 func (s *StackedLSTM) Step(st *StackState, x []float64, rng *rand.Rand) (*StackState, *StackStep) {
-	next := &StackState{H: make([][]float64, len(s.Cells)), C: make([][]float64, len(s.Cells))}
-	cache := &StackStep{
-		Steps:     make([]*LSTMStep, len(s.Cells)),
-		dropMasks: make([][]float64, len(s.Cells)),
-		dropped:   make([][]float64, len(s.Cells)),
+	return s.StepWS(nil, st, x, rng)
+}
+
+// StepWS is Step with every per-timestep buffer (gates, states, dropout
+// masks, caches) drawn from ws; a nil ws allocates fresh slices. The RNG
+// consumption is identical either way, so workspace and heap runs produce the
+// same dropout masks and therefore the same training trajectory.
+func (s *StackedLSTM) StepWS(ws *Workspace, st *StackState, x []float64, rng *rand.Rand) (*StackState, *StackStep) {
+	var next *StackState
+	var cache *StackStep
+	if ws == nil {
+		next = &StackState{H: make([][]float64, len(s.Cells)), C: make([][]float64, len(s.Cells))}
+		cache = &StackStep{
+			Steps:     make([]*LSTMStep, len(s.Cells)),
+			dropMasks: make([][]float64, len(s.Cells)),
+			dropped:   make([][]float64, len(s.Cells)),
+		}
+	} else {
+		next = ws.stackState(len(s.Cells))
+		cache = ws.stackStep(len(s.Cells))
 	}
 	input := x
 	for i, cell := range s.Cells {
 		if i > 0 && s.Dropout > 0 && rng != nil {
-			mask := make([]float64, len(input))
-			masked := make([]float64, len(input))
+			mask := wsVec(ws, len(input))
+			masked := wsVec(ws, len(input))
 			keep := 1 - s.Dropout
 			for j := range input {
 				if rng.Float64() < keep {
@@ -194,7 +252,7 @@ func (s *StackedLSTM) Step(st *StackState, x []float64, rng *rand.Rand) (*StackS
 			cache.dropped[i] = masked
 			input = masked
 		}
-		step := cell.Step(input, st.H[i], st.C[i])
+		step := cell.StepWS(ws, input, st.H[i], st.C[i])
 		cache.Steps[i] = step
 		next.H[i] = step.H
 		next.C[i] = step.C
@@ -210,10 +268,21 @@ type StackGrad struct {
 
 // ZeroGradState returns an all-zero backward carry.
 func (s *StackedLSTM) ZeroGradState() *StackGrad {
-	g := &StackGrad{DH: make([][]float64, len(s.Cells)), DC: make([][]float64, len(s.Cells))}
+	return s.ZeroGradStateWS(nil)
+}
+
+// ZeroGradStateWS returns an all-zero backward carry drawn from ws (nil
+// allocates).
+func (s *StackedLSTM) ZeroGradStateWS(ws *Workspace) *StackGrad {
+	var g *StackGrad
+	if ws == nil {
+		g = &StackGrad{DH: make([][]float64, len(s.Cells)), DC: make([][]float64, len(s.Cells))}
+	} else {
+		g = ws.stackGrad(len(s.Cells))
+	}
 	for i, c := range s.Cells {
-		g.DH[i] = make([]float64, c.Hidden)
-		g.DC[i] = make([]float64, c.Hidden)
+		g.DH[i] = wsVec(ws, c.Hidden)
+		g.DC[i] = wsVec(ws, c.Hidden)
 	}
 	return g
 }
@@ -223,8 +292,15 @@ func (s *StackedLSTM) ZeroGradState() *StackGrad {
 // from step t+1 and is replaced with the gradients to carry to step t-1.
 // dL/dx is accumulated into dx (same length as the stack input).
 func (s *StackedLSTM) StepBackward(cache *StackStep, dTop []float64, carry *StackGrad, dx []float64) {
+	s.StepBackwardWS(nil, cache, dTop, carry, dx)
+}
+
+// StepBackwardWS is StepBackward with all per-step gradient buffers drawn
+// from ws (nil ws allocates). The carry's DH/DC slices are replaced with
+// workspace memory, so the carry is only valid until ws.Reset.
+func (s *StackedLSTM) StepBackwardWS(ws *Workspace, cache *StackStep, dTop []float64, carry *StackGrad, dx []float64) {
 	top := len(s.Cells) - 1
-	dh := make([]float64, s.Cells[top].Hidden)
+	dh := wsVec(ws, s.Cells[top].Hidden)
 	copy(dh, carry.DH[top])
 	mat.Axpy(1, dTop, dh)
 
@@ -232,14 +308,14 @@ func (s *StackedLSTM) StepBackward(cache *StackStep, dTop []float64, carry *Stac
 	for i := top; i >= 0; i-- {
 		cell := s.Cells[i]
 		if i < top {
-			dh = make([]float64, cell.Hidden)
+			dh = wsVec(ws, cell.Hidden)
 			copy(dh, carry.DH[i])
 			mat.Axpy(1, dLower, dh)
 		}
-		dhPrev := make([]float64, cell.Hidden)
-		dcPrev := make([]float64, cell.Hidden)
-		dIn := make([]float64, cell.In)
-		cell.StepBackward(cache.Steps[i], dh, carry.DC[i], dIn, dhPrev, dcPrev)
+		dhPrev := wsVec(ws, cell.Hidden)
+		dcPrev := wsVec(ws, cell.Hidden)
+		dIn := wsVec(ws, cell.In)
+		cell.StepBackwardWS(ws, cache.Steps[i], dh, carry.DC[i], dIn, dhPrev, dcPrev)
 		carry.DH[i] = dhPrev
 		carry.DC[i] = dcPrev
 		if i > 0 && cache.dropMasks[i] != nil {

@@ -190,8 +190,22 @@ type TrainOptions struct {
 type trainTracker struct {
 	total, done, resumed int
 	start                time.Time
-	bleus                []float64
-	journalErr           error
+	// bleus is kept sorted by addBLEU and bleuSum is maintained incrementally,
+	// so each snapshot computes its stats in O(1) instead of copying and
+	// re-sorting every finished pair's score on every progress report
+	// (O(n² log n) over a large run).
+	bleus      []float64
+	bleuSum    float64
+	journalErr error
+}
+
+// addBLEU inserts b into the sorted score list and updates the running sum.
+func (tk *trainTracker) addBLEU(b float64) {
+	i := sort.SearchFloat64s(tk.bleus, b)
+	tk.bleus = append(tk.bleus, 0)
+	copy(tk.bleus[i+1:], tk.bleus[i:])
+	tk.bleus[i] = b
+	tk.bleuSum += b
 }
 
 func (tk *trainTracker) snapshot(src, tgt string, bleu float64) TrainProgress {
@@ -201,17 +215,11 @@ func (tk *trainTracker) snapshot(src, tgt string, bleu float64) TrainProgress {
 		Elapsed: time.Since(tk.start),
 	}
 	if n := len(tk.bleus); n > 0 {
-		sorted := append([]float64(nil), tk.bleus...)
-		sort.Float64s(sorted)
-		var sum float64
-		for _, b := range sorted {
-			sum += b
-		}
-		median := sorted[n/2]
+		median := tk.bleus[n/2]
 		if n%2 == 0 {
-			median = (sorted[n/2-1] + sorted[n/2]) / 2
+			median = (tk.bleus[n/2-1] + tk.bleus[n/2]) / 2
 		}
-		p.BLEUs = BLEUStats{Min: sorted[0], Median: median, Mean: sum / float64(n), Max: sorted[n-1]}
+		p.BLEUs = BLEUStats{Min: tk.bleus[0], Median: median, Mean: tk.bleuSum / float64(n), Max: tk.bleus[n-1]}
 	}
 	if trained := tk.done - tk.resumed; trained > 0 && tk.done < tk.total {
 		p.ETA = p.Elapsed / time.Duration(trained) * time.Duration(tk.total-tk.done)
@@ -338,7 +346,7 @@ func (f *Framework) TrainWithOptions(ctx context.Context, train, dev *seqio.Data
 		}
 		tracker.done++
 		tracker.resumed++
-		tracker.bleus = append(tracker.bleus, rec.BLEU)
+		tracker.addBLEU(rec.BLEU)
 	}
 	if opts.Progress != nil && tracker.resumed > 0 {
 		opts.Progress(tracker.snapshot("", "", 0))
@@ -377,7 +385,7 @@ func (f *Framework) TrainWithOptions(ctx context.Context, train, dev *seqio.Data
 				}
 			}
 			tracker.done++
-			tracker.bleus = append(tracker.bleus, r.BLEU)
+			tracker.addBLEU(r.BLEU)
 			if opts.Progress != nil {
 				opts.Progress(tracker.snapshot(r.Src, r.Tgt, r.BLEU))
 			}
