@@ -8,8 +8,10 @@ package mdes_test
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"testing"
 
+	"mdes"
 	"mdes/internal/bleu"
 	"mdes/internal/community"
 	"mdes/internal/experiments"
@@ -385,4 +387,125 @@ func randWords(rng *rand.Rand, n, vocab int) []string {
 
 func node(c, i int) string {
 	return string(rune('A'+c)) + string(rune('a'+i))
+}
+
+// benchStreamModel caches one trained tiny model for the streaming benchmarks.
+var benchStreamOnce struct {
+	sync.Once
+	model *mdes.Model
+	err   error
+}
+
+func benchStreamSetup(b *testing.B) (*mdes.Model, []map[string]string) {
+	b.Helper()
+	benchStreamOnce.Do(func() {
+		rng := rand.New(rand.NewSource(17))
+		ticks := 500
+		a := make([]string, ticks)
+		bb := make([]string, ticks)
+		c := make([]string, ticks)
+		state := "ON"
+		for i := 0; i < ticks; i++ {
+			if rng.Float64() < 0.15 {
+				if state == "ON" {
+					state = "OFF"
+				} else {
+					state = "ON"
+				}
+			}
+			a[i] = state
+			if i == 0 {
+				bb[i] = state
+			} else {
+				bb[i] = a[i-1]
+			}
+			if rng.Float64() < 0.5 {
+				c[i] = "ON"
+			} else {
+				c[i] = "OFF"
+			}
+		}
+		ds := &seqio.Dataset{Sequences: []seqio.Sequence{
+			{Sensor: "a", Events: a}, {Sensor: "b", Events: bb}, {Sensor: "c", Events: c},
+		}}
+		train, dev, _, err := ds.Split(380, 120)
+		if err != nil {
+			benchStreamOnce.err = err
+			return
+		}
+		fw, err := mdes.New(mdes.Config{
+			Language: mdes.LanguageConfig{WordLen: 4, WordStride: 1, SentenceLen: 5, SentenceStride: 5},
+			NMT: mdes.NMTConfig{
+				Embed: 16, Hidden: 16, Layers: 1,
+				LearningRate: 5e-3, ClipNorm: 5,
+				TrainSteps: 60, BatchSize: 8, MaxDecodeLen: 10,
+			},
+			ValidRange:      mdes.Range{Lo: 50, Hi: 100},
+			PopularInDegree: 3,
+			Seed:            1,
+		})
+		if err != nil {
+			benchStreamOnce.err = err
+			return
+		}
+		benchStreamOnce.model, benchStreamOnce.err = fw.Train(context.Background(), train, dev)
+	})
+	if benchStreamOnce.err != nil {
+		b.Fatal(benchStreamOnce.err)
+	}
+	ticks := []map[string]string{
+		{"a": "ON", "b": "ON", "c": "OFF"},
+		{"a": "ON", "b": "ON", "c": "ON"},
+		{"a": "OFF", "b": "ON", "c": "OFF"},
+		{"a": "OFF", "b": "OFF", "c": "ON"},
+		{"a": "ON", "b": "OFF", "c": "OFF"},
+	}
+	return benchStreamOnce.model, ticks
+}
+
+// BenchmarkStreamPush measures the full online hot path — window rotation,
+// sentence encoding, pairwise scoring, Algorithm 2 — and pins its steady-state
+// allocation count: with allocs/op above ~0.5 (two escaping allocations per
+// five-tick emission cycle), the zero-alloc Push path has regressed.
+func BenchmarkStreamPush(b *testing.B) {
+	model, ticks := benchStreamSetup(b)
+	stream := model.NewStream()
+	// Fill the window so every measured Push is steady-state.
+	for i := 0; i < 2*stream.SentenceSpan(); i++ {
+		if _, err := stream.Push(ticks[i%len(ticks)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stream.Push(ticks[i%len(ticks)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamPushNoScore isolates Push bookkeeping (window rotation and
+// validation) from NMT scoring: only the ticks that complete no sentence.
+func BenchmarkStreamPushNoScore(b *testing.B) {
+	model, ticks := benchStreamSetup(b)
+	stream := model.NewStream()
+	stream.SetScorer(func(jobs []mdes.ScoreJob, row []float64) error {
+		for i := range jobs {
+			row[i] = 100
+		}
+		return nil
+	})
+	for i := 0; i < 2*stream.SentenceSpan(); i++ {
+		if _, err := stream.Push(ticks[i%len(ticks)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stream.Push(ticks[i%len(ticks)]); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

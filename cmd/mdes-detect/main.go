@@ -6,10 +6,16 @@
 // Usage:
 //
 //	mdes-detect -model model.json -in test.csv [-threshold 0.5] [-alerts]
+//	generator | mdes-detect -model model.json -in - -format json | jq .score
+//
+// -in - reads the CSV from stdin, and -format json emits one NDJSON point
+// per timestamp in the same wire format mdes-serve streams, so the tool
+// composes with pipes and the serving stack's tooling.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +23,7 @@ import (
 
 	"mdes"
 	"mdes/internal/seqio"
+	"mdes/internal/serve"
 )
 
 func main() {
@@ -29,15 +36,19 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("mdes-detect", flag.ContinueOnError)
 	modelPath := fs.String("model", "model.json", "model file from mdes-train")
-	in := fs.String("in", "", "test CSV event log")
+	in := fs.String("in", "", "test CSV event log (- for stdin)")
 	threshold := fs.Float64("threshold", 0.5, "anomaly-score threshold to flag")
 	showAlerts := fs.Bool("alerts", false, "print broken relationships per flagged timestamp")
+	format := fs.String("format", "text", "output format: text or json (NDJSON, one point per line)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *in == "" {
 		return fmt.Errorf("usage: mdes-detect -model model.json -in test.csv")
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown -format %q: want text or json", *format)
 	}
 	mf, err := os.Open(*modelPath)
 	if err != nil {
@@ -48,12 +59,16 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	tf, err := os.Open(*in)
-	if err != nil {
-		return err
+	var input io.Reader = os.Stdin
+	if *in != "-" {
+		tf, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		input = tf
 	}
-	ds, err := seqio.ReadCSV(tf)
-	tf.Close()
+	ds, err := seqio.ReadCSV(input)
 	if err != nil {
 		return err
 	}
@@ -62,6 +77,17 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	if *format == "json" {
+		enc := json.NewEncoder(stdout)
+		for _, p := range points {
+			if err := enc.Encode(serve.PointWire(p)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	var worst mdes.Point
 	for _, p := range points {
 		mark := " "

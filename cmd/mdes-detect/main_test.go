@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -119,5 +120,71 @@ func TestDetectErrors(t *testing.T) {
 	}
 	if err := run([]string{"-in", "x.csv", "-model", "/no/such/model.json"}, &out); err == nil {
 		t.Fatal("missing model accepted")
+	}
+}
+
+func TestDetectJSONFormatAndStdin(t *testing.T) {
+	dir := t.TempDir()
+	modelPath, testCSV := trainToyModel(t, dir)
+
+	var fileOut bytes.Buffer
+	if err := run([]string{"-model", modelPath, "-in", testCSV, "-format", "json"}, &fileOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(fileOut.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("json format emitted nothing")
+	}
+	var flagged bool
+	for i, line := range lines {
+		var p struct {
+			T     int     `json:"t"`
+			Score float64 `json:"score"`
+			Valid int     `json:"valid"`
+		}
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("line %d not JSON: %v\n%s", i, err, line)
+		}
+		if p.T != i {
+			t.Fatalf("line %d has t=%d", i, p.T)
+		}
+		if p.Score > 0 {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatal("decoupled test log produced no nonzero scores")
+	}
+
+	// -in - reads the CSV from stdin: same input must yield the same output.
+	csvBytes, err := os.ReadFile(testCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	origStdin := os.Stdin
+	os.Stdin = pr
+	defer func() { os.Stdin = origStdin }()
+	go func() {
+		pw.Write(csvBytes)
+		pw.Close()
+	}()
+	var stdinOut bytes.Buffer
+	if err := run([]string{"-model", modelPath, "-in", "-", "-format", "json"}, &stdinOut); err != nil {
+		t.Fatal(err)
+	}
+	if stdinOut.String() != fileOut.String() {
+		t.Fatal("stdin run differs from file run")
+	}
+}
+
+func TestDetectRejectsUnknownFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-in", "x.csv", "-format", "xml"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-format") {
+		t.Fatalf("bad -format accepted: %v", err)
 	}
 }

@@ -1,0 +1,180 @@
+// Command mdes-loadgen drives a running mdes-serve with synthetic multi-tenant
+// traffic: it replays a CSV event log as N concurrent tenants, M ticks each,
+// batched into NDJSON tick requests, honouring 429 backpressure by backing
+// off and resending.
+//
+// Usage:
+//
+//	mdes-loadgen -addr http://127.0.0.1:8331 -in plant.csv -tenants 8 -ticks 200 -batch 20
+//
+// A human-readable summary goes to stderr. Stdout carries Go-benchmark-format
+// result lines so the output pipes straight into the repo's benchjson tool:
+//
+//	mdes-loadgen ... | go run ./cmd/benchjson > BENCH_serve.json
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"flag"
+
+	"mdes/internal/seqio"
+	"mdes/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "mdes-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// tenantResult is one tenant's tally.
+type tenantResult struct {
+	ticks     int
+	points    int
+	retries   int
+	latencies []time.Duration // one per successful request
+	err       error
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mdes-loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8331", "mdes-serve base URL")
+	in := fs.String("in", "", "CSV event log to replay (columns = sensors)")
+	tenants := fs.Int("tenants", 4, "concurrent tenants")
+	ticks := fs.Int("ticks", 0, "ticks per tenant (0 = whole log)")
+	batch := fs.Int("batch", 20, "ticks per request")
+	model := fs.String("model", "", "model name to pin sessions to (?model=)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("usage: mdes-loadgen -addr URL -in log.csv [-tenants N -ticks M -batch B]")
+	}
+	if *tenants <= 0 || *batch <= 0 {
+		return fmt.Errorf("-tenants and -batch must be positive")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	ds, err := seqio.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	total := ds.Ticks()
+	if *ticks > 0 && *ticks < total {
+		total = *ticks
+	}
+	if total == 0 {
+		return fmt.Errorf("%s holds no ticks", *in)
+	}
+	// Materialise the tick maps once; every tenant replays the same log.
+	tickMaps := make([]map[string]string, total)
+	for t := 0; t < total; t++ {
+		m := make(map[string]string, len(ds.Sequences))
+		for _, s := range ds.Sequences {
+			m[s.Sensor] = s.Events[t]
+		}
+		tickMaps[t] = m
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	client := &serve.Client{BaseURL: *addr, Model: *model}
+	if err := client.Ready(ctx); err != nil {
+		return err
+	}
+
+	results := make([]tenantResult, *tenants)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := &results[i]
+			tenant := fmt.Sprintf("loadgen-%d", i)
+			for off := 0; off < total; off += *batch {
+				end := off + *batch
+				if end > total {
+					end = total
+				}
+				for {
+					reqStart := time.Now()
+					points, err := client.PushTicks(ctx, tenant, tickMaps[off:end])
+					if busy, ok := err.(*serve.BusyError); ok {
+						res.retries++
+						select {
+						case <-time.After(busy.RetryAfter):
+							continue
+						case <-ctx.Done():
+							res.err = ctx.Err()
+							return
+						}
+					}
+					if err != nil {
+						res.err = err
+						return
+					}
+					res.latencies = append(res.latencies, time.Since(reqStart))
+					res.ticks += end - off
+					res.points += len(points)
+					break
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var sumTicks, sumPoints, sumRetries int
+	var all []time.Duration
+	for i := range results {
+		if results[i].err != nil {
+			return fmt.Errorf("tenant %d: %w", i, results[i].err)
+		}
+		sumTicks += results[i].ticks
+		sumPoints += results[i].points
+		sumRetries += results[i].retries
+		all = append(all, results[i].latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+
+	fmt.Fprintf(stderr, "loadgen: %d tenants x %d ticks in %s — %.0f ticks/s, %d points, %d retries (429)\n",
+		*tenants, total, elapsed.Round(time.Millisecond),
+		float64(sumTicks)/elapsed.Seconds(), sumPoints, sumRetries)
+	fmt.Fprintf(stderr, "loadgen: request latency p50=%s p95=%s p99=%s max=%s over %d requests\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond), len(all))
+
+	// Benchmark-format lines for the benchjson pipeline. "ns/op" is per tick
+	// for throughput and per request for the latency percentiles.
+	if sumTicks > 0 {
+		fmt.Fprintf(stdout, "BenchmarkServeTicks %d %.0f ns/op\n",
+			sumTicks, float64(elapsed.Nanoseconds())/float64(sumTicks))
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(stdout, "BenchmarkServeRequestP50 %d %d ns/op\n", len(all), pct(0.50).Nanoseconds())
+		fmt.Fprintf(stdout, "BenchmarkServeRequestP95 %d %d ns/op\n", len(all), pct(0.95).Nanoseconds())
+		fmt.Fprintf(stdout, "BenchmarkServeRequestP99 %d %d ns/op\n", len(all), pct(0.99).Nanoseconds())
+	}
+	return nil
+}

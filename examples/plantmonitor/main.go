@@ -13,6 +13,8 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 
 	"mdes"
@@ -85,6 +87,30 @@ func run() error {
 	for _, c := range diag.Clusters {
 		fmt.Printf("  cluster %v: %d/%d relationships broken\n", c.Members, c.BrokenEdges, c.TotalEdges)
 	}
+
+	// --- serving the model online ----------------------------------------
+	// The same model can run as a multi-tenant streaming service: save it,
+	// start mdes-serve, and POST NDJSON ticks — one detection point comes
+	// back per completed sentence window, exactly matching batch Detect.
+	modelPath := filepath.Join(os.TempDir(), "plantmonitor-model.json")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		return err
+	}
+	err = model.Save(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf(`
+to serve this model online (one detection session per plant):
+
+  go run ./cmd/mdes-serve -listen :8331 -model %s -snapshots ./snaps &
+  printf '{"sensor00":"ON","sensor01":"OFF",...}\n' \
+    | curl -sN --data-binary @- http://127.0.0.1:8331/v1/streams/plant-1/ticks
+
+sessions survive restarts via -snapshots; see the README's Serving section.
+`, modelPath)
 	return nil
 }
 

@@ -15,11 +15,9 @@
 package checkpoint
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"time"
@@ -79,31 +77,16 @@ func (j *Journal) replay() error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: read %s: %w", j.path, err)
 	}
-	valid := 0 // byte offset of the end of the last intact record
-	for off := 0; off < len(data); {
-		rest := data[off:]
-		if len(rest) < frameHeaderSize {
-			j.torn = true
-			break
-		}
-		n := binary.LittleEndian.Uint32(rest[:4])
-		sum := binary.LittleEndian.Uint32(rest[4:8])
-		if n > maxPayload || len(rest) < frameHeaderSize+int(n) {
-			j.torn = true
-			break
-		}
-		payload := rest[frameHeaderSize : frameHeaderSize+int(n)]
-		if crc32.ChecksumIEEE(payload) != sum {
-			j.torn = true
-			break
-		}
+	payloads, valid, torn := Frames(data)
+	j.torn = torn
+	off := 0
+	for _, payload := range payloads {
 		var rec PairRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return fmt.Errorf("%w at offset %d: %v", ErrCorrupt, off, err)
 		}
 		j.records = append(j.records, rec)
-		off += frameHeaderSize + int(n)
-		valid = off
+		off += frameHeaderSize + len(payload)
 	}
 	if valid < len(data) {
 		if err := j.f.Truncate(int64(valid)); err != nil {
@@ -143,10 +126,7 @@ func (j *Journal) Append(rec PairRecord) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: encode pair %s->%s: %w", rec.Src, rec.Tgt, err)
 	}
-	frame := make([]byte, frameHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
-	copy(frame[frameHeaderSize:], payload)
+	frame := AppendFrame(make([]byte, 0, frameHeaderSize+len(payload)), payload)
 	if _, err := j.f.Write(frame); err != nil {
 		return fmt.Errorf("checkpoint: append pair %s->%s: %w", rec.Src, rec.Tgt, err)
 	}

@@ -1,0 +1,49 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// The length+CRC record framing is shared by the training journal and the
+// serve-layer session snapshots: every durable artefact in the repo uses the
+// same crash-safe frame, so torn tails are detected the same way everywhere.
+//
+//	[4-byte little-endian payload length][4-byte CRC-32 (IEEE) of payload][payload]
+
+// AppendFrame appends one framed payload to dst and returns the extended
+// slice.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// Frames parses the framed records at the start of data. It returns the
+// payloads of the longest intact prefix, the byte offset where that prefix
+// ends, and whether trailing bytes follow it (a torn final frame: short
+// header, short payload, oversized length field, or CRC mismatch). Payloads
+// alias data; copy them to retain past the buffer's lifetime.
+func Frames(data []byte) (payloads [][]byte, valid int, torn bool) {
+	for off := 0; off < len(data); {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			break
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n > maxPayload || len(rest) < frameHeaderSize+int(n) {
+			break
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		payloads = append(payloads, payload)
+		off += frameHeaderSize + int(n)
+		valid = off
+	}
+	return payloads, valid, valid < len(data)
+}

@@ -29,9 +29,11 @@ const (
 	numReserved = 3
 )
 
-// unknownChar encodes an event never seen during training (the paper's
+// UnknownChar encodes an event never seen during training (the paper's
 // reserved <unk> system state). It sorts outside the 'a'.. alphabet range.
-const unknownChar = '?'
+// Exported so streaming callers that pre-compute event ranks map unseen
+// events exactly like Encrypt does.
+const UnknownChar = '?'
 
 // Config controls word and sentence generation. The paper's plant settings
 // are WordLen 10, WordStride 1, SentenceLen 20, SentenceStride 20; the HDD
@@ -91,7 +93,7 @@ func (c Config) NumSentences(ticks int) int {
 
 // Encrypt maps each event to a character by alphanumeric rank within the
 // training alphabet: the i-th distinct event becomes 'a'+i. Events outside
-// the alphabet become unknownChar. Alphabets longer than 26 extend into
+// the alphabet become UnknownChar. Alphabets longer than 26 extend into
 // subsequent ASCII; sensors in this domain have single-digit cardinality
 // (paper: mean 2.07, max 7).
 func Encrypt(events []string, alphabet []string) []byte {
@@ -104,7 +106,7 @@ func Encrypt(events []string, alphabet []string) []byte {
 		if ch, ok := rank[e]; ok {
 			out[i] = ch
 		} else {
-			out[i] = unknownChar
+			out[i] = UnknownChar
 		}
 	}
 	return out
@@ -198,6 +200,17 @@ func (v *Vocab) ID(word string) int {
 	return UnkID
 }
 
+// IDBytes is ID for a word spelled as raw encrypted characters. The compiler
+// elides the []byte→string conversion inside the map lookup, so this is the
+// allocation-free twin of ID used by streaming hot paths that window a reused
+// character buffer instead of materialising word strings.
+func (v *Vocab) IDBytes(word []byte) int {
+	if id, ok := v.index[string(word)]; ok {
+		return id
+	}
+	return UnkID
+}
+
 // Word returns the word for an id, or <unk> for out-of-range ids.
 func (v *Vocab) Word(id int) string {
 	if id < 0 || id >= len(v.words) {
@@ -265,7 +278,7 @@ func Build(seq seqio.Sequence, cfg Config) (*Language, error) {
 
 // SentencesFor converts any aligned sequence of the same sensor (train, dev,
 // or test split) into encoded sentences using the *training* alphabet and
-// vocabulary; unseen events flow through unknownChar into <unk> words.
+// vocabulary; unseen events flow through UnknownChar into <unk> words.
 func (l *Language) SentencesFor(seq seqio.Sequence) ([][]int, error) {
 	if cnt := l.Config.NumSentences(len(seq.Events)); cnt == 0 {
 		return nil, fmt.Errorf("%w: sensor %q has %d ticks", ErrTooShort, seq.Sensor, len(seq.Events))

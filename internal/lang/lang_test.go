@@ -280,3 +280,23 @@ func TestAlignedSentenceCountsQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIDBytesMatchesIDAndDoesNotAllocate(t *testing.T) {
+	v := VocabFromWords([]string{"abca", "bcab", "cabc"})
+	for _, w := range []string{"abca", "bcab", "cabc", "zzzz", ""} {
+		if got, want := v.IDBytes([]byte(w)), v.ID(w); got != want {
+			t.Fatalf("IDBytes(%q) = %d, ID = %d", w, got, want)
+		}
+	}
+	// The []byte->string conversion in the map lookup must be elided by the
+	// compiler: this is what keeps the streaming hot path allocation-free.
+	word := []byte("bcab")
+	allocs := testing.AllocsPerRun(100, func() {
+		if v.IDBytes(word) == UnkID {
+			t.Fatal("known word mapped to UnkID")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("IDBytes allocates %v per call, want 0", allocs)
+	}
+}

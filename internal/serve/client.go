@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a small helper over the server's HTTP API, used by the end-to-end
+// tests and the load generator — and usable by any Go caller that wants to
+// stream ticks without hand-rolling NDJSON.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8331".
+	BaseURL string
+	// Model optionally pins sessions to a named model (?model=).
+	Model string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// BusyError reports a 429 backpressure response and the server's retry hint.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("serve: busy, retry after %s", e.RetryAfter)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// PushTicks streams ticks to a tenant's session and returns the detection
+// points emitted for them. A 429 surfaces as *BusyError so callers can back
+// off and resend the same batch (the server consumed none of it).
+func (c *Client) PushTicks(ctx context.Context, tenant string, ticks []map[string]string) ([]WirePoint, error) {
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, tick := range ticks {
+		if err := enc.Encode(tick); err != nil {
+			return nil, err
+		}
+	}
+	url := c.BaseURL + "/v1/streams/" + tenant + "/ticks"
+	if c.Model != "" {
+		url += "?model=" + c.Model
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		io.Copy(io.Discard, resp.Body)
+		return nil, &BusyError{RetryAfter: retry}
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("serve: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+
+	var points []WirePoint
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTickLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		// An error trailer ends the stream: everything before it was
+		// processed; the erroring tick and the rest of the batch were not.
+		var trailer wireError
+		if err := json.Unmarshal(line, &trailer); err == nil && trailer.Error != "" {
+			return points, errors.New(trailer.Error)
+		}
+		var p WirePoint
+		if err := json.Unmarshal(line, &p); err != nil {
+			return points, fmt.Errorf("serve: decode point: %w", err)
+		}
+		points = append(points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return points, err
+	}
+	return points, nil
+}
+
+// Session fetches a tenant's session info (live or snapshotted).
+func (c *Client) Session(ctx context.Context, tenant string) (SessionInfo, error) {
+	var info SessionInfo
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/streams/"+tenant, nil)
+	if err != nil {
+		return info, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return info, fmt.Errorf("serve: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+// EndSession deletes a tenant's session and snapshot.
+func (c *Client) EndSession(ctx context.Context, tenant string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/streams/"+tenant, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("serve: %s", resp.Status)
+	}
+	return nil
+}
+
+// Ready polls /readyz once.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: not ready: %s", resp.Status)
+	}
+	return nil
+}

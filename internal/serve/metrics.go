@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's fixed registry: counters and one latency histogram,
+// all atomics so the tick hot path never takes a lock. Gauges (sessions live,
+// queue depth, inflight requests) are sampled at scrape time by the handler.
+type metrics struct {
+	ticksIngested    atomic.Int64
+	pointsEmitted    atomic.Int64
+	ticksRejected    atomic.Int64 // requests refused with 429
+	tickErrors       atomic.Int64
+	sessionsStarted  atomic.Int64
+	sessionsRestored atomic.Int64
+	sessionsEvicted  atomic.Int64
+	snapshotWrites   atomic.Int64
+	snapshotErrors   atomic.Int64
+
+	scoreLatency histogram
+}
+
+// histogram is a Prometheus-style cumulative histogram over seconds. Buckets
+// and counts are fixed at construction; observations are lock-free.
+type histogram struct {
+	bounds []float64 // upper bounds in seconds, ascending
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+// scoreBuckets spans one pairwise scoring call: sub-millisecond cache hits
+// through multi-second cold decodes on large models.
+var scoreBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5}
+
+func newHistogram(bounds []float64) histogram {
+	return histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	placed := false
+	for i, b := range h.bounds {
+		if s <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.sumNs.Add(int64(d))
+	h.n.Add(1)
+}
+
+// write renders the histogram in Prometheus text exposition format.
+func (h *histogram) write(w io.Writer, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// counter renders one counter metric.
+func counter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	fmt.Fprintf(w, "%s %d\n", name, v)
+}
+
+// gauge renders one gauge metric.
+func gauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	fmt.Fprintf(w, "%s %g\n", name, v)
+}
+
+// write renders every metric. The live gauge values are passed in by the
+// scrape handler.
+func (m *metrics) write(w io.Writer, sessionsLive, inflight, queueDepth int) {
+	counter(w, "mdes_serve_ticks_ingested_total", "Ticks consumed across all sessions.", m.ticksIngested.Load())
+	counter(w, "mdes_serve_points_emitted_total", "Detection points emitted across all sessions.", m.pointsEmitted.Load())
+	counter(w, "mdes_serve_requests_rejected_total", "Tick requests refused with 429 because the admission queue was full.", m.ticksRejected.Load())
+	counter(w, "mdes_serve_tick_errors_total", "Ticks rejected as malformed or misaligned.", m.tickErrors.Load())
+	counter(w, "mdes_serve_sessions_started_total", "Sessions created fresh.", m.sessionsStarted.Load())
+	counter(w, "mdes_serve_sessions_restored_total", "Sessions restored from a snapshot.", m.sessionsRestored.Load())
+	counter(w, "mdes_serve_sessions_evicted_total", "Sessions evicted by TTL or LRU pressure.", m.sessionsEvicted.Load())
+	counter(w, "mdes_serve_snapshot_writes_total", "Session snapshots written to disk.", m.snapshotWrites.Load())
+	counter(w, "mdes_serve_snapshot_errors_total", "Session snapshot writes that failed.", m.snapshotErrors.Load())
+	gauge(w, "mdes_serve_sessions_live", "Sessions currently resident in memory.", float64(sessionsLive))
+	gauge(w, "mdes_serve_inflight_requests", "Tick requests currently admitted.", float64(inflight))
+	gauge(w, "mdes_serve_score_queue_depth", "Pairwise scoring jobs waiting for a pool worker.", float64(queueDepth))
+	m.scoreLatency.write(w, "mdes_serve_score_latency_seconds", "Latency of one pairwise relationship scoring call.")
+}

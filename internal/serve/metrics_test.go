@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramRendersCumulativeBuckets(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1})
+	h.observe(500 * time.Microsecond) // le=0.001
+	h.observe(2 * time.Millisecond)   // le=0.01
+	h.observe(3 * time.Millisecond)   // le=0.01
+	h.observe(50 * time.Millisecond)  // le=0.1
+	h.observe(2 * time.Second)        // +Inf
+
+	var sb strings.Builder
+	h.write(&sb, "x_seconds", "help text")
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP x_seconds help text",
+		"# TYPE x_seconds histogram",
+		`x_seconds_bucket{le="0.001"} 1`,
+		`x_seconds_bucket{le="0.01"} 3`,
+		`x_seconds_bucket{le="0.1"} 4`,
+		`x_seconds_bucket{le="+Inf"} 5`,
+		"x_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Sum: 0.0005 + 0.002 + 0.003 + 0.05 + 2 = 2.0555 seconds.
+	if !strings.Contains(out, "x_seconds_sum 2.0555") {
+		t.Fatalf("bad sum in:\n%s", out)
+	}
+}
+
+func TestMetricsWriteIncludesEveryFamily(t *testing.T) {
+	var m metrics
+	m.scoreLatency = newHistogram(scoreBuckets)
+	m.ticksIngested.Add(7)
+
+	var sb strings.Builder
+	m.write(&sb, 2, 1, 3)
+	out := sb.String()
+	for _, want := range []string{
+		"mdes_serve_ticks_ingested_total 7",
+		"mdes_serve_points_emitted_total 0",
+		"mdes_serve_requests_rejected_total 0",
+		"mdes_serve_sessions_live 2",
+		"mdes_serve_inflight_requests 1",
+		"mdes_serve_score_queue_depth 3",
+		"mdes_serve_score_latency_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"mdes"
+)
+
+// scorePool fans pairwise relationship scoring out across the sessions
+// currently processing a tick. Each completed sentence window produces one
+// ScoreJob per valid relationship; all sessions share the same bounded worker
+// set, so concurrency is governed globally rather than per tenant. Workers
+// reuse the NMT models' pooled workspaces (each Run goes through the
+// allocation-free ScoreSentence path), so fan-out adds goroutines, not
+// garbage.
+type scorePool struct {
+	jobs chan scoreTask
+	wg   sync.WaitGroup
+	lat  *histogram
+}
+
+// scoreTask is one job plus the row to store its score in and the barrier
+// that releases the submitting session once the whole batch is scored.
+type scoreTask struct {
+	job  *mdes.ScoreJob
+	row  []float64
+	done *sync.WaitGroup
+}
+
+func newScorePool(workers int, lat *histogram) *scorePool {
+	p := &scorePool{
+		// Buffer a few batches' worth of jobs so sessions rarely block while
+		// handing work out; admission control bounds total exposure.
+		jobs: make(chan scoreTask, workers*4),
+		lat:  lat,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.jobs {
+				start := time.Now()
+				t.row[t.job.Index()] = t.job.Run()
+				p.lat.observe(time.Since(start))
+				t.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// score is installed as each stream's scorer (Stream.SetScorer): it submits
+// every job and waits for the batch. Workers never block on anything other
+// than the job channel, so submission always drains — sessions hold their own
+// mutex while in here, but no pool worker ever takes a session mutex.
+func (p *scorePool) score(jobs []mdes.ScoreJob, row []float64) error {
+	var done sync.WaitGroup
+	done.Add(len(jobs))
+	for i := range jobs {
+		p.jobs <- scoreTask{job: &jobs[i], row: row, done: &done}
+	}
+	done.Wait()
+	return nil
+}
+
+// depth reports how many jobs are queued but not yet picked up.
+func (p *scorePool) depth() int { return len(p.jobs) }
+
+// close stops the workers after the queue drains. Callers must guarantee no
+// further score calls.
+func (p *scorePool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

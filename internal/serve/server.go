@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"mdes"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Models maps registry names to loaded models. Required, non-empty.
+	Models map[string]*mdes.Model
+	// DefaultModel names the model used by sessions that do not pass
+	// ?model=. Optional when Models holds exactly one entry.
+	DefaultModel string
+	// SnapshotDir enables durability: session windows are checkpointed here
+	// after every tick request, on eviction, and on shutdown, and sessions
+	// restore from it lazily on their first request after a restart. Empty
+	// disables durability (sessions are memory-only).
+	SnapshotDir string
+	// SessionTTL evicts sessions idle longer than this (snapshotting them
+	// first when durability is on). 0 disables idle eviction.
+	SessionTTL time.Duration
+	// MaxSessions caps resident sessions; beyond it the least-recently-used
+	// session is evicted. 0 means unlimited.
+	MaxSessions int
+	// MaxInflight bounds concurrently admitted tick requests — the explicit
+	// backpressure knob. Requests beyond it receive 429 with a Retry-After
+	// hint. 0 selects 2×GOMAXPROCS.
+	MaxInflight int
+	// ScoreWorkers sizes the shared pairwise-scoring pool. 0 selects
+	// GOMAXPROCS.
+	ScoreWorkers int
+	// RetryAfter is the hint returned with 429 responses. 0 selects 1s.
+	RetryAfter time.Duration
+}
+
+// maxTickLine bounds one NDJSON tick line; a tick is one small JSON object
+// per sensor, so 1 MiB is generous even for thousands of sensors.
+const maxTickLine = 1 << 20
+
+// Server is the multi-tenant online detection server. Create it with New,
+// mount it as an http.Handler, and call Shutdown after the HTTP listener has
+// drained to persist every session.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+	pool *scorePool
+	reg  *registry
+	met  metrics
+
+	slots    chan struct{} // admission tokens for tick requests
+	draining atomic.Bool
+	stopped  atomic.Bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// New validates the options and starts the server's background machinery
+// (scoring pool, idle janitor). The caller owns serving HTTP.
+func New(opts Options) (*Server, error) {
+	if len(opts.Models) == 0 {
+		return nil, errors.New("serve: no models configured")
+	}
+	if opts.DefaultModel == "" {
+		if len(opts.Models) == 1 {
+			for name := range opts.Models {
+				opts.DefaultModel = name
+			}
+		} else {
+			return nil, errors.New("serve: DefaultModel required with multiple models")
+		}
+	}
+	if _, ok := opts.Models[opts.DefaultModel]; !ok {
+		return nil, fmt.Errorf("serve: default model %q not in Models", opts.DefaultModel)
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opts.ScoreWorkers <= 0 {
+		opts.ScoreWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+
+	s := &Server{
+		opts:        opts,
+		mux:         http.NewServeMux(),
+		reg:         newRegistry(),
+		slots:       make(chan struct{}, opts.MaxInflight),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.met.scoreLatency = newHistogram(scoreBuckets)
+	s.pool = newScorePool(opts.ScoreWorkers, &s.met.scoreLatency)
+
+	s.mux.HandleFunc("POST /v1/streams/{tenant}/ticks", s.handleTicks)
+	s.mux.HandleFunc("GET /v1/streams/{tenant}", s.handleSession)
+	s.mux.HandleFunc("DELETE /v1/streams/{tenant}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/streams", s.handleList)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+
+	go s.janitor()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// janitor evicts idle sessions on a cadence derived from the TTL.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	if s.opts.SessionTTL <= 0 {
+		<-s.janitorStop
+		return
+	}
+	interval := s.opts.SessionTTL / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case now := <-t.C:
+			for _, v := range s.reg.takeIdle(now.Add(-s.opts.SessionTTL)) {
+				s.evict(v)
+			}
+		}
+	}
+}
+
+// evict snapshots and releases a claimed victim (locked, marked gone, already
+// out of the registry).
+func (s *Server) evict(v *session) {
+	s.persistLocked(v)
+	v.mu.Unlock()
+	s.met.sessionsEvicted.Add(1)
+}
+
+// persistLocked writes the session's snapshot if durability is on and ticks
+// arrived since the last write. Caller holds v.mu.
+func (s *Server) persistLocked(v *session) {
+	if s.opts.SnapshotDir == "" || !v.dirty {
+		return
+	}
+	snap := sessionSnapshot{Tenant: v.tenant, Model: v.model, Stream: v.stream.Snapshot()}
+	if err := saveSnapshot(s.opts.SnapshotDir, v.tenant, snap); err != nil {
+		s.met.snapshotErrors.Add(1)
+		return
+	}
+	v.dirty = false
+	s.met.snapshotWrites.Add(1)
+}
+
+// acquire returns the tenant's session with its mutex held, creating or
+// restoring it first if needed. The non-nil error carries an HTTP status.
+func (s *Server) acquire(tenant, wantModel string) (*session, int, error) {
+	if tenant == "" {
+		return nil, http.StatusBadRequest, errors.New("empty tenant")
+	}
+	for {
+		sess := s.reg.get(tenant)
+		if sess == nil {
+			created, status, err := s.createSession(tenant, wantModel)
+			if err != nil {
+				return nil, status, err
+			}
+			sess = created
+		}
+		if wantModel != "" && sess.model != wantModel {
+			return nil, http.StatusConflict,
+				fmt.Errorf("tenant %q is bound to model %q, not %q", tenant, sess.model, wantModel)
+		}
+		sess.mu.Lock()
+		if sess.gone {
+			// Evicted between lookup and lock; its snapshot is durable, so
+			// retrying restores it.
+			sess.mu.Unlock()
+			continue
+		}
+		s.reg.touch(sess)
+		return sess, 0, nil
+	}
+}
+
+// createSession inserts a new session for the tenant — restored from its
+// snapshot when one exists, fresh otherwise — evicting LRU sessions if the
+// cap is exceeded. Returns the existing session instead if another request
+// created it first.
+func (s *Server) createSession(tenant, wantModel string) (*session, int, error) {
+	s.reg.mu.Lock()
+	if existing := s.reg.sessions[tenant]; existing != nil {
+		s.reg.mu.Unlock()
+		return existing, 0, nil
+	}
+
+	// Snapshot lookup happens under the registry lock; it is one small file
+	// read on the session-creation path only, never on the tick hot path.
+	modelName := wantModel
+	var stream *mdes.Stream
+	restored := false
+	if s.opts.SnapshotDir != "" {
+		snap, ok, err := loadSnapshot(s.opts.SnapshotDir, tenant)
+		if err != nil {
+			s.reg.mu.Unlock()
+			return nil, http.StatusInternalServerError, err
+		}
+		if ok {
+			if modelName != "" && modelName != snap.Model {
+				s.reg.mu.Unlock()
+				return nil, http.StatusConflict,
+					fmt.Errorf("tenant %q has a snapshot for model %q, not %q", tenant, snap.Model, modelName)
+			}
+			model, found := s.opts.Models[snap.Model]
+			if !found {
+				s.reg.mu.Unlock()
+				return nil, http.StatusNotFound,
+					fmt.Errorf("tenant %q snapshot references unknown model %q", tenant, snap.Model)
+			}
+			stream, err = model.RestoreStream(snap.Stream)
+			if err != nil {
+				s.reg.mu.Unlock()
+				return nil, http.StatusInternalServerError, err
+			}
+			modelName = snap.Model
+			restored = true
+		}
+	}
+	if stream == nil {
+		if modelName == "" {
+			modelName = s.opts.DefaultModel
+		}
+		model, found := s.opts.Models[modelName]
+		if !found {
+			s.reg.mu.Unlock()
+			return nil, http.StatusNotFound, fmt.Errorf("unknown model %q", modelName)
+		}
+		stream = model.NewStream()
+	}
+	stream.SetScorer(s.pool.score)
+	sess := &session{tenant: tenant, model: modelName, stream: stream, lastUsed: time.Now()}
+	s.reg.sessions[tenant] = sess
+
+	var victims []*session
+	if s.opts.MaxSessions > 0 && len(s.reg.sessions) > s.opts.MaxSessions {
+		victims = s.reg.takeLRULocked(len(s.reg.sessions)-s.opts.MaxSessions, tenant)
+	}
+	s.reg.mu.Unlock()
+
+	for _, v := range victims {
+		s.evict(v)
+	}
+	if restored {
+		s.met.sessionsRestored.Add(1)
+	} else {
+		s.met.sessionsStarted.Add(1)
+	}
+	return sess, 0, nil
+}
+
+// release persists a dirty session and drops its mutex.
+func (s *Server) release(sess *session) {
+	s.persistLocked(sess)
+	sess.mu.Unlock()
+	s.reg.touch(sess)
+}
+
+// handleTicks is POST /v1/streams/{tenant}/ticks: NDJSON in (one tick object
+// per line, sensor → event), NDJSON out (one detection point per completed
+// sentence). 429 + Retry-After when the admission queue is full; a malformed
+// or misaligned tick aborts the request with the offending tick NOT consumed
+// (Push validates before mutating), so the client can fix and resend from
+// that line.
+func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.met.ticksRejected.Add(1)
+		secs := int(s.opts.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, "tick queue full", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.slots }()
+
+	sess, status, err := s.acquire(r.PathValue("tenant"), r.URL.Query().Get("model"))
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	defer s.release(sess)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	// Points stream out while ticks are still being read in; without full
+	// duplex the HTTP/1 server closes the unread body on the first response
+	// write, truncating the request mid-tick.
+	if err := rc.EnableFullDuplex(); err != nil {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	enc := json.NewEncoder(w)
+	wrote := false
+	fail := func(code int, msg string) {
+		if !wrote {
+			http.Error(w, msg, code)
+			return
+		}
+		// The status line is gone; surface the error as an NDJSON trailer.
+		enc.Encode(wireError{Error: msg})
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTickLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var tick map[string]string
+		if err := json.Unmarshal(line, &tick); err != nil {
+			s.met.tickErrors.Add(1)
+			fail(http.StatusBadRequest, fmt.Sprintf("tick %d: %v", sess.stream.Ticks(), err))
+			return
+		}
+		p, err := sess.stream.Push(tick)
+		if err != nil {
+			s.met.tickErrors.Add(1)
+			fail(http.StatusBadRequest, err.Error())
+			return
+		}
+		s.met.ticksIngested.Add(1)
+		sess.dirty = true
+		if p != nil {
+			if err := enc.Encode(PointWire(*p)); err != nil {
+				return // client went away
+			}
+			wrote = true
+			rc.Flush()
+			s.met.pointsEmitted.Add(1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(http.StatusBadRequest, fmt.Sprintf("read ticks: %v", err))
+	}
+}
+
+// handleSession is GET /v1/streams/{tenant}: the live session's counters, or
+// the snapshotted ones for a tenant currently evicted to disk.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if sess := s.reg.get(tenant); sess != nil {
+		sess.mu.Lock()
+		info := sess.infoLocked()
+		sess.mu.Unlock()
+		writeJSON(w, info)
+		return
+	}
+	if s.opts.SnapshotDir != "" {
+		snap, ok, err := loadSnapshot(s.opts.SnapshotDir, tenant)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if ok {
+			info := SessionInfo{
+				Tenant:  tenant,
+				Model:   snap.Model,
+				Ticks:   snap.Stream.Ticks,
+				Emitted: snap.Stream.Emitted,
+			}
+			if model, found := s.opts.Models[snap.Model]; found {
+				lc := model.Config().Language
+				info.SentenceSpan = lc.WordLen + (lc.SentenceLen-1)*lc.WordStride
+			}
+			writeJSON(w, info)
+			return
+		}
+	}
+	http.Error(w, fmt.Sprintf("no session for tenant %q", tenant), http.StatusNotFound)
+}
+
+// handleDelete is DELETE /v1/streams/{tenant}: ends the session and removes
+// its snapshot — the tenant's next tick starts a fresh window.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if sess := s.reg.get(tenant); sess != nil {
+		sess.mu.Lock()
+		sess.gone = true
+		sess.mu.Unlock()
+		s.reg.remove(sess)
+	}
+	if s.opts.SnapshotDir != "" {
+		if err := deleteSnapshot(s.opts.SnapshotDir, tenant); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleList is GET /v1/streams: the live sessions.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	sessions := s.reg.all()
+	infos := make([]SessionInfo, 0, len(sessions))
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if !sess.gone {
+			infos = append(infos, sess.infoLocked())
+		}
+		sess.mu.Unlock()
+	}
+	writeJSON(w, infos)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, s.reg.len(), len(s.slots), s.pool.depth())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// BeginDrain flips the server not-ready: /readyz turns 503 (so load
+// balancers stop routing here) and new tick requests are refused. Call it
+// before shutting the HTTP listener down so in-flight requests finish while
+// no new ones start.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// SessionsLive reports the resident session count.
+func (s *Server) SessionsLive() int { return s.reg.len() }
+
+// Shutdown persists every resident session and stops the background
+// machinery. Call it after the HTTP server has drained (http.Server.Shutdown)
+// so no request still holds a session. Further calls are no-ops.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	if !s.stopped.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.janitorStop)
+	<-s.janitorDone
+
+	var firstErr error
+	for _, sess := range s.reg.all() {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		sess.mu.Lock()
+		if s.opts.SnapshotDir != "" && sess.dirty {
+			snap := sessionSnapshot{Tenant: sess.tenant, Model: sess.model, Stream: sess.stream.Snapshot()}
+			if err := saveSnapshot(s.opts.SnapshotDir, sess.tenant, snap); err != nil {
+				s.met.snapshotErrors.Add(1)
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				sess.dirty = false
+				s.met.snapshotWrites.Add(1)
+			}
+		}
+		sess.mu.Unlock()
+	}
+	s.pool.close()
+	return firstErr
+}

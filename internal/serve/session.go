@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"mdes"
+)
+
+// session is one tenant's online detector. Tick processing is serialised by
+// mu — the single-writer-per-session ordering guarantee: whatever interleaving
+// of requests arrives, each session's stream consumes its ticks one at a
+// time, in the order the holder of mu feeds them.
+type session struct {
+	tenant string
+	model  string // model registry name
+	stream *mdes.Stream
+
+	mu    sync.Mutex
+	gone  bool // set under mu when evicted or deleted; lock holders must retry
+	dirty bool // ticks consumed since the last snapshot (under mu)
+
+	lastUsed time.Time // guarded by registry.mu (LRU/TTL bookkeeping)
+}
+
+// info captures a queryable view. Caller must hold s.mu.
+func (s *session) infoLocked() SessionInfo {
+	return SessionInfo{
+		Tenant:       s.tenant,
+		Model:        s.model,
+		Ticks:        s.stream.Ticks(),
+		Emitted:      s.stream.Emitted(),
+		SentenceSpan: s.stream.SentenceSpan(),
+	}
+}
+
+// registry owns the tenant → session map. It only guards membership and
+// recency; tick processing happens under each session's own mutex, never
+// under the registry's.
+type registry struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+func newRegistry() *registry {
+	return &registry{sessions: make(map[string]*session)}
+}
+
+func (r *registry) get(tenant string) *session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sessions[tenant]
+}
+
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// touch refreshes a session's recency.
+func (r *registry) touch(s *session) {
+	r.mu.Lock()
+	s.lastUsed = time.Now()
+	r.mu.Unlock()
+}
+
+// remove drops a session from the map if it is still the registered one.
+func (r *registry) remove(s *session) {
+	r.mu.Lock()
+	if r.sessions[s.tenant] == s {
+		delete(r.sessions, s.tenant)
+	}
+	r.mu.Unlock()
+}
+
+// all snapshots the current membership.
+func (r *registry) all() []*session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*session, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// takeIdle claims every session idle since before the deadline: each victim
+// is locked (skipping sessions mid-request), marked gone, and removed from
+// the map. The caller snapshots and unlocks them.
+func (r *registry) takeIdle(deadline time.Time) []*session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var victims []*session
+	for tenant, s := range r.sessions {
+		if s.lastUsed.After(deadline) {
+			continue
+		}
+		if !s.mu.TryLock() {
+			continue // mid-request; it is not idle after all
+		}
+		s.gone = true
+		delete(r.sessions, tenant)
+		victims = append(victims, s)
+	}
+	return victims
+}
+
+// takeLRULocked claims up to n least-recently-used sessions (other than
+// keep), locked and marked gone like takeIdle. Used when a new session would
+// push the registry over its cap; the caller already holds r.mu.
+func (r *registry) takeLRULocked(n int, keep string) []*session {
+	var victims []*session
+	for len(victims) < n {
+		var oldest *session
+		for tenant, s := range r.sessions {
+			if tenant == keep {
+				continue
+			}
+			if oldest == nil || s.lastUsed.Before(oldest.lastUsed) {
+				oldest = s
+			}
+		}
+		if oldest == nil {
+			break
+		}
+		if !oldest.mu.TryLock() {
+			// Busy; over-cap by one beats stalling admission on a session
+			// that is actively serving.
+			break
+		}
+		oldest.gone = true
+		delete(r.sessions, oldest.tenant)
+		victims = append(victims, oldest)
+	}
+	return victims
+}

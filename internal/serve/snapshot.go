@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mdes"
+	"mdes/internal/checkpoint"
+)
+
+// sessionSnapshot is the durable state of one tenant session: which model it
+// runs plus the stream's rolling window. It is persisted as a single
+// checkpoint-framed record (length + CRC-32 + JSON payload), so a restart can
+// tell an intact snapshot from a torn or truncated one the same way the
+// training journal does.
+type sessionSnapshot struct {
+	Tenant string              `json:"tenant"`
+	Model  string              `json:"model"`
+	Stream mdes.StreamSnapshot `json:"stream"`
+}
+
+// snapshotPath returns the snapshot file for a tenant. Tenant names are
+// hex-encoded so arbitrary names (slashes, dots, unicode) cannot escape the
+// snapshot directory or collide after sanitisation.
+func snapshotPath(dir, tenant string) string {
+	return filepath.Join(dir, hex.EncodeToString([]byte(tenant))+".snap")
+}
+
+// saveSnapshot durably replaces the tenant's snapshot: the framed record is
+// written to a temp file, fsynced, and renamed over the previous snapshot, so
+// a crash at any point leaves either the old intact snapshot or the new one —
+// never a torn file that parses.
+func saveSnapshot(dir, tenant string, snap sessionSnapshot) error {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("serve: encode snapshot for %q: %w", tenant, err)
+	}
+	frame := checkpoint.AppendFrame(make([]byte, 0, len(payload)+8), payload)
+	path := snapshotPath(dir, tenant)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("serve: snapshot temp for %q: %w", tenant, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: write snapshot for %q: %w", tenant, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("serve: sync snapshot for %q: %w", tenant, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: close snapshot for %q: %w", tenant, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("serve: install snapshot for %q: %w", tenant, err)
+	}
+	return nil
+}
+
+// loadSnapshot reads a tenant's snapshot if one exists. A missing file is
+// (zero, false, nil); a file whose single frame is torn or fails its CRC is
+// treated the same way — the tenant simply starts a fresh window — while a
+// frame that is intact but does not decode is a real error.
+func loadSnapshot(dir, tenant string) (sessionSnapshot, bool, error) {
+	data, err := os.ReadFile(snapshotPath(dir, tenant))
+	if os.IsNotExist(err) {
+		return sessionSnapshot{}, false, nil
+	}
+	if err != nil {
+		return sessionSnapshot{}, false, fmt.Errorf("serve: read snapshot for %q: %w", tenant, err)
+	}
+	payloads, _, _ := checkpoint.Frames(data)
+	if len(payloads) == 0 {
+		return sessionSnapshot{}, false, nil
+	}
+	var snap sessionSnapshot
+	// Last intact record wins, mirroring the journal's duplicate resolution.
+	if err := json.Unmarshal(payloads[len(payloads)-1], &snap); err != nil {
+		return sessionSnapshot{}, false, fmt.Errorf("serve: decode snapshot for %q: %w", tenant, err)
+	}
+	return snap, true, nil
+}
+
+// deleteSnapshot removes a tenant's snapshot; missing files are fine.
+func deleteSnapshot(dir, tenant string) error {
+	err := os.Remove(snapshotPath(dir, tenant))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

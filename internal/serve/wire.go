@@ -1,0 +1,65 @@
+// Package serve is the online deployment layer of the framework: a
+// multi-tenant HTTP server that loads trained models and runs one
+// mdes.Stream per tenant, scoring ticks as they arrive (§II-A2's
+// "detection can be performed every minute" served continuously).
+//
+// The subsystem is stdlib-only. Its pieces:
+//
+//   - a session registry with per-tenant streams, single-writer ordering,
+//     idle-TTL and LRU eviction (evicted sessions are snapshotted first, so
+//     eviction is memory management, not data loss);
+//   - a bounded worker pool that fans pairwise relationship scoring out
+//     across the valid relationships of all concurrently active sessions;
+//   - request admission with explicit backpressure (429 + Retry-After once
+//     the configured number of tick requests is in flight);
+//   - durability: session windows are checkpointed to disk with the same
+//     CRC frame internal/checkpoint journals use, and a restarted server
+//     resumes every tenant's rolling window bit-for-bit;
+//   - observability: /metrics in Prometheus text format, /healthz, /readyz.
+package serve
+
+import "mdes"
+
+// WirePoint is the NDJSON wire form of one detection point, shared by the
+// server, the client helper, the load generator, and mdes-detect's JSON
+// output so everything on the wire composes.
+type WirePoint struct {
+	T      int         `json:"t"`
+	Score  float64     `json:"score"`
+	Valid  int         `json:"valid"`
+	Broken []WireAlert `json:"broken,omitempty"`
+}
+
+// WireAlert is one broken pairwise relationship on the wire.
+type WireAlert struct {
+	Src   string  `json:"src"`
+	Tgt   string  `json:"tgt"`
+	Train float64 `json:"train"`
+	Test  float64 `json:"test"`
+}
+
+// PointWire converts a detection point to its wire form.
+func PointWire(p mdes.Point) WirePoint {
+	wp := WirePoint{T: p.T, Score: p.Score, Valid: p.Valid}
+	for _, a := range p.Broken {
+		wp.Broken = append(wp.Broken, WireAlert{
+			Src: a.Src, Tgt: a.Tgt, Train: a.TrainScore, Test: a.TestScore,
+		})
+	}
+	return wp
+}
+
+// wireError is the NDJSON error trailer emitted when a tick fails after the
+// response status has already been written.
+type wireError struct {
+	Error string `json:"error"`
+}
+
+// SessionInfo describes one live or queried session.
+type SessionInfo struct {
+	Tenant       string `json:"tenant"`
+	Model        string `json:"model"`
+	Ticks        int    `json:"ticks"`
+	Emitted      int    `json:"emitted"`
+	SentenceSpan int    `json:"sentence_span"`
+}

@@ -48,6 +48,8 @@ type (
 	Point = anomaly.Point
 	// Alert is one broken pairwise relationship.
 	Alert = anomaly.Alert
+	// Relationship is one valid directional model with its training BLEU.
+	Relationship = anomaly.Relationship
 	// Diagnosis attributes an anomaly to sensor clusters.
 	Diagnosis = anomaly.Diagnosis
 	// LanguageConfig controls word and sentence generation.

@@ -328,6 +328,45 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
+// RestoreStream rebuilds an online detector from a snapshot taken with
+// Stream.Snapshot. The snapshot must belong to a stream of this model (or a
+// model with identical sensors and language configuration): every modelled
+// sensor must be present with a window consistent with the tick counter. The
+// restored stream emits exactly the points the snapshotted stream would have
+// emitted had it never stopped.
+func (m *Model) RestoreStream(snap StreamSnapshot) (*Stream, error) {
+	s := m.NewStream()
+	if snap.Ticks < 0 {
+		return nil, fmt.Errorf("mdes: restore stream: negative tick count %d", snap.Ticks)
+	}
+	wantLen := snap.Ticks
+	if wantLen > s.span {
+		wantLen = s.span
+	}
+	if len(snap.Windows) != len(s.names) {
+		return nil, fmt.Errorf("mdes: restore stream: snapshot has %d sensors, model has %d", len(snap.Windows), len(s.names))
+	}
+	for _, name := range s.names {
+		w, ok := snap.Windows[name]
+		if !ok {
+			return nil, fmt.Errorf("mdes: restore stream: sensor %q missing from snapshot", name)
+		}
+		if len(w) != wantLen {
+			return nil, fmt.Errorf("mdes: restore stream: sensor %q window holds %d ticks, want %d", name, len(w), wantLen)
+		}
+		s.win[name] = append(s.win[name][:0], w...)
+	}
+	wantEmitted := 0
+	if snap.Ticks >= s.span {
+		wantEmitted = (snap.Ticks-s.span)/s.stride + 1
+	}
+	if snap.Emitted != wantEmitted {
+		return nil, fmt.Errorf("mdes: restore stream: %d points emitted after %d ticks, want %d", snap.Emitted, snap.Ticks, wantEmitted)
+	}
+	s.ticks, s.emitted = snap.Ticks, snap.Emitted
+	return s, nil
+}
+
 // BandStats returns Table I's per-band statistics of the full graph.
 func (m *Model) BandStats() []graph.Stats {
 	return m.graph.BandStats(graph.PaperRanges(), m.cfg.PopularInDegree)

@@ -2,8 +2,10 @@ package mdes
 
 import (
 	"fmt"
+	"sort"
 
 	"mdes/internal/anomaly"
+	"mdes/internal/lang"
 	"mdes/internal/nmt"
 )
 
@@ -13,6 +15,9 @@ import (
 // paper describes in §II-A2 — "with a per minute sampling granularity and
 // n = 1, detection can be performed every minute" — without having to
 // re-batch the whole test log.
+//
+// A Stream is not safe for concurrent use; callers that multiplex tenants
+// (see internal/serve) must serialise Push per stream.
 type Stream struct {
 	model *Model
 	det   *anomaly.Detector
@@ -21,9 +26,22 @@ type Stream struct {
 	span   int // ticks covered by one sentence
 	stride int // ticks between consecutive sentences
 
-	buf     map[string][]string // rolling window of the last `span` ticks
-	ticks   int                 // total ticks consumed
-	emitted int                 // points emitted so far
+	names []string            // modelled sensors in sorted order
+	win   map[string][]string // rolling window of the last `span` ticks
+
+	ticks   int // total ticks consumed
+	emitted int // points emitted so far
+
+	// Per-push scratch, reused across pushes so the steady state allocates
+	// nothing beyond the detection outputs that escape to the caller.
+	ranks   map[string]map[string]byte // per-sensor event -> encrypted char
+	chars   []byte                     // encrypted window of one sensor
+	sent    map[string][]int           // per-sensor encoded sentence
+	jobs    []ScoreJob
+	row     []float64
+	rowWrap [][]float64
+
+	scorer func(jobs []ScoreJob, row []float64) error
 }
 
 // NewStream creates an online detector over the model's configured valid
@@ -31,18 +49,68 @@ type Stream struct {
 func (m *Model) NewStream() *Stream {
 	lc := m.cfg.Language
 	det := m.Detector()
-	return &Stream{
+	s := &Stream{
 		model:  m,
 		det:    det,
 		rels:   det.Relationships(),
 		span:   lc.WordLen + (lc.SentenceLen-1)*lc.WordStride,
 		stride: lc.SentenceStride * lc.WordStride,
-		buf:    make(map[string][]string, len(m.languages)),
+		win:    make(map[string][]string, len(m.languages)),
+		ranks:  make(map[string]map[string]byte, len(m.languages)),
+		sent:   make(map[string][]int, len(m.languages)),
 	}
+	for name, l := range m.languages {
+		s.names = append(s.names, name)
+		s.win[name] = make([]string, 0, s.span)
+		rank := make(map[string]byte, len(l.Alphabet))
+		for i, e := range l.Alphabet {
+			rank[e] = byte('a' + i)
+		}
+		s.ranks[name] = rank
+		s.sent[name] = make([]int, 0, lc.SentenceLen)
+	}
+	sort.Strings(s.names)
+	s.chars = make([]byte, 0, s.span)
+	s.jobs = make([]ScoreJob, 0, len(s.rels))
+	s.row = make([]float64, len(s.rels))
+	s.rowWrap = [][]float64{s.row}
+	return s
 }
 
 // SentenceSpan returns how many ticks one detection window covers.
 func (s *Stream) SentenceSpan() int { return s.span }
+
+// ScoreJob is one pairwise relationship-scoring task produced by a completed
+// sentence window: translate the source sensor's sentence with the pair's NMT
+// model and score it against the observed target sentence.
+type ScoreJob struct {
+	k                int
+	model            *nmt.Model
+	src, tgt         []int
+	srcName, tgtName string
+}
+
+// Index returns the job's column in the detection row; a custom scorer must
+// store the job's score at this index.
+func (j *ScoreJob) Index() int { return j.k }
+
+// Pair returns the sensor names of the relationship being scored.
+func (j *ScoreJob) Pair() (src, tgt string) { return j.srcName, j.tgtName }
+
+// Run computes the job's score f(i,j) — the smoothed sentence BLEU of the
+// model's translation against the observed target sentence. Run is safe to
+// call from any goroutine; distinct jobs may run concurrently.
+func (j *ScoreJob) Run() float64 { return nmt.ScoreSentence(j.model, j.src, j.tgt) }
+
+// SetScorer replaces the stream's serial relationship scorer. The function
+// must fill row[j.Index()] = j.Run() (or an equivalent score) for every job
+// before returning; it may fan jobs out across goroutines. The jobs and row
+// slices are scratch owned by the stream — valid only for the duration of the
+// call, never to be retained. A nil fn restores serial scoring.
+//
+// This is the hook internal/serve uses to share one bounded scoring pool
+// across many tenant streams.
+func (s *Stream) SetScorer(fn func(jobs []ScoreJob, row []float64) error) { s.scorer = fn }
 
 // Push consumes one tick of readings (sensor name -> event). Sensors the
 // model does not know are ignored; modelled sensors missing from the tick
@@ -52,17 +120,22 @@ func (s *Stream) Push(tick map[string]string) (*Point, error) {
 	// Validate the whole tick before touching any buffer: a tick missing one
 	// modelled sensor must leave the stream state untouched, not advance the
 	// sensors iterated before the error was noticed.
-	for name := range s.model.languages {
+	for _, name := range s.names {
 		if _, ok := tick[name]; !ok {
 			return nil, fmt.Errorf("%w: %q missing from tick %d", ErrMisaligned, name, s.ticks)
 		}
 	}
-	for name := range s.model.languages {
-		buf := append(s.buf[name], tick[name])
-		if len(buf) > s.span {
-			buf = buf[len(buf)-s.span:]
+	for _, name := range s.names {
+		w := s.win[name]
+		if len(w) < s.span {
+			s.win[name] = append(w, tick[name])
+		} else {
+			// Shift down in place instead of append-and-reslice: the window
+			// stays at its original capacity forever, so the steady state
+			// never reallocates.
+			copy(w, w[1:])
+			w[s.span-1] = tick[name]
 		}
-		s.buf[name] = buf
 	}
 	s.ticks++
 
@@ -71,24 +144,59 @@ func (s *Stream) Push(tick map[string]string) (*Point, error) {
 	if s.ticks < s.span || (s.ticks-s.span)%s.stride != 0 {
 		return nil, nil
 	}
+	return s.emit()
+}
 
-	row := make([]float64, len(s.rels))
-	sent := make(map[string][]int, len(s.model.languages))
-	for name, l := range s.model.languages {
-		sents, err := l.SentencesFor(Sequence{Sensor: name, Events: s.buf[name]})
-		if err != nil {
-			return nil, fmt.Errorf("mdes: stream sensor %q: %w", name, err)
+// emit encodes the current window into one sentence per sensor, scores every
+// valid relationship, and evaluates Algorithm 2 for the timestamp.
+func (s *Stream) emit() (*Point, error) {
+	lc := s.model.cfg.Language
+	for _, name := range s.names {
+		l := s.model.languages[name]
+		rank := s.ranks[name]
+		chars := s.chars[:0]
+		for _, ev := range s.win[name] {
+			c, ok := rank[ev]
+			if !ok {
+				c = lang.UnknownChar
+			}
+			chars = append(chars, c)
 		}
-		sent[name] = sents[0]
+		// A full window yields exactly SentenceLen words — one sentence —
+		// so the word window encodes straight into token ids without
+		// materialising word strings (IDBytes keeps the lookup alloc-free).
+		ids := s.sent[name][:0]
+		for i := 0; i+lc.WordLen <= len(chars); i += lc.WordStride {
+			ids = append(ids, l.Vocab.IDBytes(chars[i:i+lc.WordLen]))
+		}
+		s.chars = chars
+		s.sent[name] = ids
 	}
+
+	jobs := s.jobs[:0]
 	for k, rel := range s.rels {
 		m := s.model.pairs[[2]string{rel.Src, rel.Tgt}]
 		if m == nil {
 			return nil, fmt.Errorf("mdes: no model for valid pair %s->%s", rel.Src, rel.Tgt)
 		}
-		row[k] = nmt.ScoreSentence(m, sent[rel.Src], sent[rel.Tgt])
+		jobs = append(jobs, ScoreJob{
+			k: k, model: m,
+			src: s.sent[rel.Src], tgt: s.sent[rel.Tgt],
+			srcName: rel.Src, tgtName: rel.Tgt,
+		})
 	}
-	points, err := s.det.Evaluate([][]float64{row})
+	s.jobs = jobs
+	if s.scorer != nil {
+		if err := s.scorer(jobs, s.row); err != nil {
+			return nil, fmt.Errorf("mdes: stream scorer: %w", err)
+		}
+	} else {
+		for i := range jobs {
+			s.row[jobs[i].k] = jobs[i].Run()
+		}
+	}
+
+	points, err := s.det.Evaluate(s.rowWrap)
 	if err != nil {
 		return nil, err
 	}
@@ -103,3 +211,23 @@ func (s *Stream) Ticks() int { return s.ticks }
 
 // Emitted returns how many detection points have been produced.
 func (s *Stream) Emitted() int { return s.emitted }
+
+// StreamSnapshot is the JSON-serialisable durable state of a Stream: the
+// rolling event windows plus the tick/emission counters. Restoring it with
+// Model.RestoreStream on the same model yields a stream that continues
+// bit-for-bit where the snapshot was taken.
+type StreamSnapshot struct {
+	Ticks   int                 `json:"ticks"`
+	Emitted int                 `json:"emitted"`
+	Windows map[string][]string `json:"windows"`
+}
+
+// Snapshot captures the stream's durable state. The returned snapshot owns
+// its window copies, so it stays valid as the stream keeps consuming ticks.
+func (s *Stream) Snapshot() StreamSnapshot {
+	w := make(map[string][]string, len(s.names))
+	for _, name := range s.names {
+		w[name] = append([]string(nil), s.win[name]...)
+	}
+	return StreamSnapshot{Ticks: s.ticks, Emitted: s.emitted, Windows: w}
+}

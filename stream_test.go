@@ -2,9 +2,12 @@ package mdes
 
 import (
 	"context"
+	"encoding/json"
 	"math"
 	"math/rand"
 	"testing"
+
+	"mdes/internal/seqio"
 )
 
 // TestStreamMatchesBatchDetection verifies that feeding ticks one at a time
@@ -132,10 +135,10 @@ func TestStreamBadTickLeavesStateIntact(t *testing.T) {
 			if dirty.Ticks() != control.Ticks() {
 				t.Fatalf("bad ticks consumed: %d vs %d", dirty.Ticks(), control.Ticks())
 			}
-			for name, buf := range dirty.buf {
-				if len(buf) != len(control.buf[name]) {
+			for name, buf := range dirty.win {
+				if len(buf) != len(control.win[name]) {
 					t.Fatalf("sensor %q buffer advanced by rejected tick: %d vs %d",
-						name, len(buf), len(control.buf[name]))
+						name, len(buf), len(control.win[name]))
 				}
 			}
 		}
@@ -202,4 +205,230 @@ func avg(xs []float64) float64 {
 		s += x
 	}
 	return s / float64(len(xs))
+}
+
+// trainTinyCfg trains a tiny model under a mutated config, for cadence tests
+// that need non-default sentence strides.
+func trainTinyCfg(t *testing.T, mutate func(*Config)) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	full := coupledDataset(rng, 500)
+	train, dev, _, err := full.Split(380, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyTestConfig()
+	mutate(&cfg)
+	fw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := fw.Train(context.Background(), train, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func pushAll(t *testing.T, stream *Stream, ds *seqio.Dataset, from, to int) []Point {
+	t.Helper()
+	var out []Point
+	for tick := from; tick < to; tick++ {
+		reading := make(map[string]string, len(ds.Sequences))
+		for _, s := range ds.Sequences {
+			reading[s.Sensor] = s.Events[tick]
+		}
+		p, err := stream.Push(reading)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// TestStreamOverlappingSentenceStride exercises SentenceStride > 1 but below
+// SentenceLen: sentences overlap, so emissions come every
+// SentenceStride*WordStride ticks and must still match batch Detect exactly.
+func TestStreamOverlappingSentenceStride(t *testing.T) {
+	model := trainTinyCfg(t, func(c *Config) { c.Language.SentenceStride = 2 })
+	rng := rand.New(rand.NewSource(91))
+	ds := coupledDataset(rng, 150)
+
+	batch, err := model.Detect(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := model.NewStream()
+	// word 4 stride 1, sentence 5 stride 2 -> span 8, stride 2.
+	if stream.SentenceSpan() != 8 {
+		t.Fatalf("span = %d, want 8", stream.SentenceSpan())
+	}
+	streamed := pushAll(t, stream, ds, 0, ds.Ticks())
+
+	// Cadence: first point after span ticks, then every 2 ticks.
+	wantCount := (ds.Ticks()-8)/2 + 1
+	if len(streamed) != wantCount {
+		t.Fatalf("emitted %d points over %d ticks, want %d", len(streamed), ds.Ticks(), wantCount)
+	}
+	if len(streamed) != len(batch) {
+		t.Fatalf("stream emitted %d points, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if math.Abs(streamed[i].Score-batch[i].Score) > 1e-12 {
+			t.Fatalf("point %d: stream %.4f vs batch %.4f", i, streamed[i].Score, batch[i].Score)
+		}
+	}
+}
+
+// TestStreamUnknownEvents feeds events never seen in training: they must map
+// to the unknown char (not error) and match batch Detect on the same data.
+func TestStreamUnknownEvents(t *testing.T) {
+	model := trainTiny(t)
+	rng := rand.New(rand.NewSource(92))
+	ds := coupledDataset(rng, 120)
+	// Corrupt a stretch of sensor a with an event outside the alphabet.
+	seqA, _ := ds.Find("a")
+	for i := 40; i < 60; i++ {
+		seqA.Events[i] = "MELTDOWN"
+	}
+
+	batch, err := model.Detect(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := pushAll(t, model.NewStream(), ds, 0, ds.Ticks())
+	if len(streamed) != len(batch) {
+		t.Fatalf("stream emitted %d points, batch %d", len(streamed), len(batch))
+	}
+	for i := range batch {
+		if math.Abs(streamed[i].Score-batch[i].Score) > 1e-12 {
+			t.Fatalf("point %d: stream %.4f vs batch %.4f", i, streamed[i].Score, batch[i].Score)
+		}
+	}
+}
+
+// TestStreamSnapshotRestore cuts a stream mid-window, round-trips the
+// snapshot through JSON, and verifies the restored stream emits exactly the
+// points the uninterrupted control emits.
+func TestStreamSnapshotRestore(t *testing.T) {
+	model := trainTiny(t)
+	rng := rand.New(rand.NewSource(93))
+	ds := coupledDataset(rng, 160)
+	cut := 75 // not aligned with the emission cadence
+
+	control := model.NewStream()
+	wantAll := pushAll(t, control, ds, 0, ds.Ticks())
+
+	first := model.NewStream()
+	head := pushAll(t, first, ds, 0, cut)
+	snap := first.Snapshot()
+	// The snapshot must own its windows: keep pushing the original stream and
+	// confirm the snapshot is unaffected.
+	pushAll(t, first, ds, cut, ds.Ticks())
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded StreamSnapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := model.RestoreStream(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Ticks() != cut || restored.Emitted() != len(head) {
+		t.Fatalf("restored counters: %d ticks %d emitted, want %d and %d",
+			restored.Ticks(), restored.Emitted(), cut, len(head))
+	}
+	tail := pushAll(t, restored, ds, cut, ds.Ticks())
+
+	got := append(append([]Point(nil), head...), tail...)
+	if len(got) != len(wantAll) {
+		t.Fatalf("restored run emitted %d points, control %d", len(got), len(wantAll))
+	}
+	for i := range wantAll {
+		if got[i].T != wantAll[i].T || math.Abs(got[i].Score-wantAll[i].Score) > 1e-12 {
+			t.Fatalf("point %d: restored (t=%d, %.4f) vs control (t=%d, %.4f)",
+				i, got[i].T, got[i].Score, wantAll[i].T, wantAll[i].Score)
+		}
+	}
+}
+
+func TestRestoreStreamRejectsBadSnapshots(t *testing.T) {
+	model := trainTiny(t)
+	stream := model.NewStream()
+	pushAll(t, stream, coupledDataset(rand.New(rand.NewSource(94)), 30), 0, 30)
+	good := stream.Snapshot()
+
+	mutate := func(f func(*StreamSnapshot)) StreamSnapshot {
+		var s StreamSnapshot
+		raw, _ := json.Marshal(good)
+		json.Unmarshal(raw, &s)
+		f(&s)
+		return s
+	}
+	bads := map[string]StreamSnapshot{
+		"negative ticks":  mutate(func(s *StreamSnapshot) { s.Ticks = -1 }),
+		"missing sensor":  mutate(func(s *StreamSnapshot) { delete(s.Windows, "a") }),
+		"foreign sensor":  mutate(func(s *StreamSnapshot) { s.Windows["zz"] = []string{"ON"} }),
+		"short window":    mutate(func(s *StreamSnapshot) { s.Windows["a"] = s.Windows["a"][:2] }),
+		"emitted too big": mutate(func(s *StreamSnapshot) { s.Emitted = 999 }),
+	}
+	for name, snap := range bads {
+		if _, err := model.RestoreStream(snap); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := model.RestoreStream(good); err != nil {
+		t.Fatalf("good snapshot rejected: %v", err)
+	}
+}
+
+// TestStreamPushSteadyStateAllocs pins the hot path: once the window is full,
+// a non-emitting Push must not allocate at all, and a full stride cycle may
+// allocate only the detection outputs that escape to the caller.
+func TestStreamPushSteadyStateAllocs(t *testing.T) {
+	model := trainTiny(t)
+	stream := model.NewStream()
+	// Stub scorer: maximal BLEU everywhere, so no Alert slices are built and
+	// the measurement isolates Push's own bookkeeping.
+	stream.SetScorer(func(jobs []ScoreJob, row []float64) error {
+		for i := range jobs {
+			row[i] = 100
+		}
+		return nil
+	})
+	reading := map[string]string{"a": "ON", "b": "ON", "c": "OFF"}
+	// Reach steady state: window full and first emissions done.
+	for i := 0; i < 40; i++ {
+		if _, err := stream.Push(reading); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if stream.Ticks()%5 != 0 { // keep runs stride-aligned (stride = 5)
+		t.Fatalf("alignment broken: %d ticks", stream.Ticks())
+	}
+	perPush := testing.AllocsPerRun(50, func() {
+		// One full stride: 4 silent pushes + 1 emission.
+		for i := 0; i < 5; i++ {
+			p, err := stream.Push(reading)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 2 && p == nil { // ticks≡0 mod 5; emission at (t-8)%5==0 → 3rd push
+				t.Fatal("expected an emission in each stride cycle")
+			}
+		}
+	})
+	// Two escaping allocations per emitted point (Evaluate's out slice and the
+	// returned *Point); everything else is reused scratch.
+	if perPush > 2 {
+		t.Fatalf("stride cycle allocates %v, want <= 2 (Push hot path regressed)", perPush)
+	}
 }
