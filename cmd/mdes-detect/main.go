@@ -55,7 +55,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	model, err := mdes.Load(mf)
-	mf.Close()
+	_ = mf.Close() // read-only; Load's error is the one that matters
 	if err != nil {
 		return err
 	}

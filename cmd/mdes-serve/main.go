@@ -75,7 +75,7 @@ func parseModels(specs []string) (map[string]*mdes.Model, error) {
 			return nil, err
 		}
 		model, err := mdes.Load(f)
-		f.Close()
+		_ = f.Close() // read-only; Load's error is the one that matters
 		if err != nil {
 			return nil, fmt.Errorf("model %q: %w", name, err)
 		}

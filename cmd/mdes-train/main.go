@@ -97,7 +97,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	ds, err := seqio.ReadCSV(f)
-	f.Close()
+	_ = f.Close() // read-only; ReadCSV's error is the one that matters
 	if err != nil {
 		return err
 	}

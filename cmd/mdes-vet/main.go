@@ -1,0 +1,23 @@
+// Mdes-vet runs the repo's custom static analyzers: noalloc, ctxloop,
+// detrand, lockcall, and frameerr (see internal/analysis and its
+// subpackages).
+//
+// It speaks the cmd/go vettool protocol, so it can run either standalone —
+//
+//	go build -o mdes-vet ./cmd/mdes-vet && ./mdes-vet ./...
+//
+// (which re-executes `go vet -vettool=<self>` under the hood) — or directly:
+//
+//	go vet -vettool=$(pwd)/mdes-vet ./...
+//
+// Suppress an individual finding with //mdes:allow(<analyzer>) <reason>.
+package main
+
+import (
+	"mdes/internal/analysis"
+	"mdes/internal/analysis/suite"
+)
+
+func main() {
+	analysis.Main("mdes-vet", suite.Analyzers...)
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildVet compiles the mdes-vet binary into a temp dir and returns its path.
+func buildVet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mdes-vet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building mdes-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule materialises a throwaway module with the given files.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module sandbox\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runVet invokes `go vet -vettool=bin ./...` inside dir.
+func runVet(t *testing.T, bin, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestVetFailsOnDeliberateViolations is the CI contract: introducing a
+// violation of any enforced invariant must fail `go vet -vettool=mdes-vet`.
+func TestVetFailsOnDeliberateViolations(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"bad.go": `package sandbox
+
+import "os"
+
+// Hot allocates despite its annotation.
+//
+//mdes:noalloc
+func Hot(n int) []int {
+	return make([]int, n)
+}
+
+// TrainAll loops without a context.
+func TrainAll(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Persist drops the Close error on a write path.
+func Persist(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+`,
+	})
+
+	out, err := runVet(t, bin, dir)
+	if err == nil {
+		t.Fatalf("go vet succeeded on a module with deliberate violations; output:\n%s", out)
+	}
+	for _, want := range []string{
+		"make allocates in noalloc function Hot",
+		"exported TrainAll contains loops but has no context.Context parameter",
+		"error from Close is discarded",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vet output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestVetPassesOnCleanModule proves zero false positives on compliant code,
+// including a waived finding.
+func TestVetPassesOnCleanModule(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"good.go": `package sandbox
+
+import (
+	"context"
+	"os"
+)
+
+// Hot reuses its caller's buffer.
+//
+//mdes:noalloc
+func Hot(dst []int, n int) []int {
+	out := dst[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// TrainAll is cancellable.
+func TrainAll(ctx context.Context, xs []int) (int, error) {
+	total := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += x
+	}
+	return total, nil
+}
+
+// ReadAll closes best-effort on a read path, explicitly.
+func ReadAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, 16)
+	n, err := f.Read(data)
+	_ = f.Close()
+	if err != nil {
+		return nil, err
+	}
+	return data[:n], nil
+}
+
+// Waived documents why its annotated violation is fine.
+//
+//mdes:noalloc
+func Waived() *int {
+	//mdes:allow(noalloc) demonstration waiver for the clean-module fixture
+	return new(int)
+}
+`,
+	})
+
+	out, err := runVet(t, bin, dir)
+	if err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+// TestVetSelfCheck runs the suite over this repository itself: the tree must
+// stay diagnostic-free, which is the other half of the CI contract.
+func TestVetSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-check typechecks every package; skipped in -short")
+	}
+	bin := buildVet(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = "../.." // repo root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mdes-vet reports diagnostics on the tree: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneMode checks the re-exec path: `mdes-vet ./...` drives go vet
+// itself and propagates the failure exit.
+func TestStandaloneMode(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"bad.go": `package sandbox
+
+//mdes:noalloc
+func Hot() map[string]int {
+	return map[string]int{}
+}
+`,
+	})
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("standalone mdes-vet succeeded on a violating module:\n%s", out)
+	}
+	if !strings.Contains(string(out), "map literal allocates in noalloc function Hot") {
+		t.Errorf("standalone output missing the diagnostic; got:\n%s", out)
+	}
+}

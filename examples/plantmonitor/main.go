@@ -98,7 +98,9 @@ func run() error {
 		return err
 	}
 	err = model.Save(mf)
-	mf.Close()
+	if cerr := mf.Close(); err == nil {
+		err = cerr // a failed close loses buffered model bytes
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,116 @@
+// Package analyzertest runs an analyzer over source fixtures and checks its
+// diagnostics against expectations written in the fixtures themselves — a
+// stdlib-only stand-in for golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are trailing comments of the form
+//
+//	code() // want `regexp`
+//	code() // want `first` `second`
+//
+// Every diagnostic reported on a line must match one of that line's want
+// patterns, and every want pattern must be matched by some diagnostic on its
+// line. Lines without a want comment must produce no diagnostics.
+package analyzertest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mdes/internal/analysis"
+)
+
+// want patterns are backquoted or double-quoted strings after "// want".
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package at srcRoot/<path>, applies the analyzer, and
+// reports mismatches between diagnostics and // want expectations through t.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		pkg, err := analysis.LoadFixture(srcRoot, path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		checkPackage(t, a, pkg, path)
+	}
+}
+
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package, path string) {
+	t.Helper()
+	expects := collectWants(t, pkg)
+
+	pass := pkg.NewPass(a)
+	if err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer %s failed: %v", path, a.Name, err)
+		return
+	}
+
+	for _, d := range pass.Diagnostics() {
+		pos := pkg.Fset.Position(d.Pos)
+		if e := matchExpectation(expects, pos, d.Message); e != nil {
+			e.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: %s: %s", path, pos, d.Message)
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", path, e.file, e.line, e.raw)
+		}
+	}
+}
+
+func matchExpectation(expects []*expectation, pos token.Position, msg string) *expectation {
+	for _, e := range expects {
+		if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.pattern.MatchString(msg) {
+			return e
+		}
+	}
+	return nil
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[i+len("want "):], -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, raw, err)
+						continue
+					}
+					expects = append(expects, &expectation{
+						file:    pos.Filename,
+						line:    pos.Line,
+						pattern: re,
+						raw:     raw,
+					})
+				}
+			}
+		}
+	}
+	return expects
+}

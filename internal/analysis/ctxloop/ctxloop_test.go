@@ -1,0 +1,11 @@
+package ctxloop
+
+import (
+	"testing"
+
+	"mdes/internal/analysis/analyzertest"
+)
+
+func TestCtxloop(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", Analyzer, "a")
+}

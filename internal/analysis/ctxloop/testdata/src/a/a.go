@@ -1,0 +1,108 @@
+package a
+
+import "context"
+
+// TrainAll loops over examples with no way to cancel: flagged.
+func TrainAll(xs []int) int { // want `exported TrainAll contains loops but has no context.Context parameter`
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// ScoreCorpus has a bounded loop but no ctx: flagged.
+func ScoreCorpus(xs []int) int { // want `exported ScoreCorpus contains loops but has no context.Context parameter`
+	s := 0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}
+
+// TrainForever takes ctx but its unbounded loop ignores it: flagged.
+func TrainForever(ctx context.Context, ch chan int) {
+	for { // want `unbounded loop in TrainForever never checks ctx.Err\(\)`
+		if <-ch == 0 {
+			return
+		}
+	}
+}
+
+// TrainDrain ranges over a channel without consulting ctx: flagged.
+func TrainDrain(ctx context.Context, ch chan int) int {
+	s := 0
+	for v := range ch { // want `range over channel in TrainDrain never checks ctx.Err\(\)`
+		s += v
+	}
+	return s
+}
+
+// --- non-flagging shapes -------------------------------------------------
+
+// TrainAllContext is the cancellable variant: ctx checked per iteration.
+func TrainAllContext(ctx context.Context, xs []int) (int, error) {
+	total := 0
+	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += x
+	}
+	return total, nil
+}
+
+// TrainLoop consults ctx via select on Done.
+func TrainLoop(ctx context.Context, ch chan int) int {
+	s := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return s
+		case v := <-ch:
+			s += v
+		}
+	}
+}
+
+// TrainWorkers forwards ctx to a cancellable callee inside the loop.
+func TrainWorkers(ctx context.Context, jobs chan int) int {
+	s := 0
+	for j := range jobs {
+		s += step(ctx, j)
+	}
+	return s
+}
+
+func step(ctx context.Context, j int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return j
+}
+
+// Score is loop-free: exempt even without ctx.
+func Score(a, b int) int { return a + b }
+
+// Train is a single-statement delegation wrapper: exempt.
+func Train(xs []int) (int, error) {
+	return TrainAllContext(context.Background(), xs)
+}
+
+// Trainer does not match the Train word boundary: exempt.
+func Trainer(xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+
+// unexported functions are not checked.
+func trainHidden(xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}

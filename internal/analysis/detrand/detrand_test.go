@@ -1,0 +1,15 @@
+package detrand
+
+import (
+	"testing"
+
+	"mdes/internal/analysis/analyzertest"
+)
+
+func TestDetrand(t *testing.T) {
+	saved := Packages
+	Packages = append(append([]string{}, Packages...), "scoring")
+	defer func() { Packages = saved }()
+
+	analyzertest.Run(t, "testdata/src", Analyzer, "scoring", "other")
+}

@@ -1,0 +1,11 @@
+// Package other is outside the configured scoring/training package set, so
+// nothing here is flagged even though it uses the global source freely.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Noise() float64   { return rand.Float64() }
+func Stamp() time.Time { return time.Now() }

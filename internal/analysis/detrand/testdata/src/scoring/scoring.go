@@ -1,0 +1,81 @@
+package scoring
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Jitter() float64 {
+	return rand.Float64() // want `global rand.Float64 draws from the process-wide source`
+}
+
+func Stamp() time.Time {
+	return time.Now() // want `time.Now in scoring/training code`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in scoring/training code`
+}
+
+func MeanByKey(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `map iteration accumulates into float sum`
+	}
+	return sum / float64(len(m))
+}
+
+func Keys(m map[string]float64) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want `map iteration appends to ks in random order`
+	}
+	return ks
+}
+
+// --- non-flagging shapes -------------------------------------------------
+
+// Seeded sources are deterministic, and so is constructing one.
+func SeededJitter(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Appending under map range is fine when the slice is sorted afterwards.
+func SortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Per-iteration locals and integer counters are order-safe.
+func Count(m map[string]float64) int {
+	n := 0
+	for _, v := range m {
+		double := v * 2
+		_ = double
+		n++
+	}
+	return n
+}
+
+// Float accumulation over a slice is ordered: fine.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Progress reporting may waive wall-clock reads in place.
+func Waived() time.Time {
+	return time.Now() //mdes:allow(detrand) progress reporting only, not part of scores
+}

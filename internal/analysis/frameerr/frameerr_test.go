@@ -1,0 +1,11 @@
+package frameerr
+
+import (
+	"testing"
+
+	"mdes/internal/analysis/analyzertest"
+)
+
+func TestFrameerr(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", Analyzer, "persist")
+}

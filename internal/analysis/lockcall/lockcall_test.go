@@ -1,0 +1,15 @@
+package lockcall
+
+import (
+	"testing"
+
+	"mdes/internal/analysis/analyzertest"
+)
+
+func TestLockcall(t *testing.T) {
+	saved := Packages
+	Packages = append(append([]string{}, Packages...), "serve")
+	defer func() { Packages = saved }()
+
+	analyzertest.Run(t, "testdata/src", Analyzer, "serve", "elsewhere")
+}

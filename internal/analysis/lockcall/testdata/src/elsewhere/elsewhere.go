@@ -1,0 +1,16 @@
+// Package elsewhere is outside the configured package set: holding a lock
+// across I/O here is someone else's problem.
+package elsewhere
+
+import (
+	"os"
+	"sync"
+)
+
+type T struct{ mu sync.Mutex }
+
+func (t *T) Held() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_ = os.Remove("whatever")
+}

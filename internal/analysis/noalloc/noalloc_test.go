@@ -1,0 +1,11 @@
+package noalloc
+
+import (
+	"testing"
+
+	"mdes/internal/analysis/analyzertest"
+)
+
+func TestNoalloc(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", Analyzer, "a")
+}

@@ -1,0 +1,55 @@
+package a
+
+import "fmt"
+
+type ws struct {
+	buf     []float64
+	scratch []byte
+}
+
+// hot is the flagging fixture: one of everything the analyzer catches.
+//
+//mdes:noalloc
+func (w *ws) hot(n int, s string, bs []byte) {
+	_ = make([]float64, n)       // want `make allocates in noalloc function hot`
+	_ = new(ws)                  // want `new allocates in noalloc function hot`
+	_ = []int{1, 2}              // want `slice literal allocates`
+	_ = map[string]int{}         // want `map literal allocates`
+	_ = &ws{}                    // want `&composite literal may escape`
+	w.buf = append(w.buf, 1)     // want `append without preallocated-cap evidence`
+	_ = s + "!"                  // want `string concatenation allocates`
+	_ = string(bs)               // want `conversion allocates`
+	_ = []byte(s)                // want `conversion allocates`
+	fmt.Println(n)               // want `call to fmt.Println allocates` `interface boxing: int passed`
+	sink(n)                      // want `interface boxing: int passed`
+	f := func() int { return n } // want `closure captures enclosing variables`
+	_ = f
+}
+
+func sink(v any) { _ = v }
+
+// cold is the non-flagging fixture: the same shapes with capacity evidence,
+// constant folding, non-capturing closures, or an in-place waiver.
+//
+//mdes:noalloc
+func (w *ws) cold(n int, other []float64) float64 {
+	out := w.buf[:0]
+	out = append(out, 1)                   // resliced destination: ok
+	w.scratch = append(w.scratch[:0], 'x') // inline reslice: ok
+	const greet = "a" + "b"                // constant concatenation: ok
+	var acc float64
+	for _, v := range other {
+		acc += v
+	}
+	f := func(x int) int { return x * 2 } // captures nothing: ok
+	if n < 0 {
+		_ = make([]byte, 8) //mdes:allow(noalloc) cold error path, never taken steady-state
+	}
+	return acc + float64(f(n))
+}
+
+// unannotated functions may allocate freely.
+func free(n int) []int {
+	fmt.Println("hi")
+	return make([]int, n)
+}

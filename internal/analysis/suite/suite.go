@@ -1,0 +1,20 @@
+// Package suite lists the analyzers shipped in mdes-vet.
+package suite
+
+import (
+	"mdes/internal/analysis"
+	"mdes/internal/analysis/ctxloop"
+	"mdes/internal/analysis/detrand"
+	"mdes/internal/analysis/frameerr"
+	"mdes/internal/analysis/lockcall"
+	"mdes/internal/analysis/noalloc"
+)
+
+// Analyzers is the full mdes-vet suite, in reporting order.
+var Analyzers = []*analysis.Analyzer{
+	noalloc.Analyzer,
+	ctxloop.Analyzer,
+	detrand.Analyzer,
+	lockcall.Analyzer,
+	frameerr.Analyzer,
+}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each package
+// when driving a -vettool (see cmd/go/internal/work's vetConfig). Only the
+// fields the driver consumes are declared.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	GoVersion                 string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool binary. It implements the cmd/go
+// protocol (the -V=full and -flags handshakes, then one invocation per
+// package with a vet.cfg path) and additionally supports a standalone mode:
+// invoked with package patterns instead of a .cfg file, it re-executes
+// `go vet -vettool=<self> <patterns>` so cmd/go handles package loading.
+func Main(name string, analyzers ...*Analyzer) {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			// cmd/go stamps the tool into its build cache key using this
+			// line; the token after "version" must not be "devel". Hashing
+			// our own executable means rebuilding mdes-vet invalidates
+			// cached vet results.
+			fmt.Printf("%s version v1-%s\n", name, selfHash())
+			return
+		case "-flags", "--flags":
+			// No tool-specific flags: report an empty JSON flag set.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		diags, err := runConfig(args[len(args)-1], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if diags > 0 {
+			os.Exit(2)
+		}
+		return
+	}
+	if len(args) == 0 || args[0] == "help" || args[0] == "-h" || args[0] == "--help" {
+		usage(name, analyzers)
+		if len(args) == 0 {
+			os.Exit(2)
+		}
+		return
+	}
+	// Standalone mode: let `go vet` load the packages and call us back.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cannot locate own executable: %v\n", name, err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+func usage(name string, analyzers []*Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s: static analyzers for the mdes repository\n\n", name)
+	fmt.Fprintf(os.Stderr, "usage:\n")
+	fmt.Fprintf(os.Stderr, "  %s ./...                     # standalone (drives go vet)\n", name)
+	fmt.Fprintf(os.Stderr, "  go vet -vettool=%s ./...     # as a vet tool\n\n", name)
+	fmt.Fprintf(os.Stderr, "analyzers:\n")
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nsuppress a finding in place with: //mdes:allow(<analyzer>) <reason>\n")
+}
+
+// selfHash returns a short content hash of the running executable.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown0000000000"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown0000000000"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown0000000000"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// runConfig analyzes the single package described by the vet.cfg file and
+// prints diagnostics to stderr, returning how many were reported.
+func runConfig(cfgFile string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	// cmd/go requires the facts ("vetx") output to exist for caching even
+	// though this suite exchanges no facts between packages.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("mdes-vet: no facts\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only invocation: nothing to analyze.
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	parsed, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		return 0, err
+	}
+	pkg, info, err := typeCheckConfig(fset, &cfg, parsed)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	loaded := &Package{Fset: fset, Files: parsed, Pkg: pkg, Info: info}
+	total := 0
+	for _, a := range analyzers {
+		pass := loaded.NewPass(a)
+		if err := a.Run(pass); err != nil {
+			return total, fmt.Errorf("analyzer %s on %s: %w", a.Name, cfg.ImportPath, err)
+		}
+		for _, d := range pass.Diagnostics() {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, a.Name)
+			total++
+		}
+	}
+	return total, nil
+}
+
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(paths))
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// cfgImporter resolves imports through the vet.cfg's ImportMap and
+// PackageFile tables using the toolchain's gc export-data reader.
+type cfgImporter struct {
+	cfg  *vetConfig
+	base types.ImporterFrom
+}
+
+func (ci *cfgImporter) Import(path string) (*types.Package, error) {
+	return ci.ImportFrom(path, "", 0)
+}
+
+func (ci *cfgImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if mapped, ok := ci.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return ci.base.ImportFrom(path, ci.cfg.Dir, 0)
+}
+
+func typeCheckConfig(fset *token.FileSet, cfg *vetConfig, files []*ast.File) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	base, ok := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	if !ok {
+		return nil, nil, fmt.Errorf("gc importer does not implement ImporterFrom")
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer:  &cfgImporter{cfg: cfg, base: base},
+		Sizes:     types.SizesFor("gc", "amd64"),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

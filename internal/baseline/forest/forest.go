@@ -6,6 +6,7 @@
 package forest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -67,8 +68,9 @@ var (
 	ErrSingleClass = errors.New("forest: training set has a single class")
 )
 
-// Train fits a forest on X (rows are samples) with boolean labels y.
-func Train(x [][]float64, y []bool, cfg Config) (*Forest, error) {
+// Train fits a forest on X (rows are samples) with boolean labels y. The
+// context is checked between trees; a cancelled run returns ctx.Err().
+func Train(ctx context.Context, x [][]float64, y []bool, cfg Config) (*Forest, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -100,6 +102,9 @@ func Train(x [][]float64, y []bool, cfg Config) (*Forest, error) {
 	f := &Forest{importances: make([]float64, d), features: d}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for ti := 0; ti < cfg.Trees; ti++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Bootstrap sample.
 		idx := make([]int, len(x))
 		for i := range idx {

@@ -1,6 +1,7 @@
 package forest
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -30,14 +31,14 @@ func TestValidateAndErrors(t *testing.T) {
 	if err := (Config{Trees: 0}).Validate(); err == nil {
 		t.Fatal("Trees=0 must be rejected")
 	}
-	if _, err := Train(nil, nil, Default()); err != ErrNoData {
+	if _, err := Train(context.Background(), nil, nil, Default()); err != ErrNoData {
 		t.Fatalf("empty train err = %v", err)
 	}
 	x := [][]float64{{1}, {2}}
-	if _, err := Train(x, []bool{true, true}, Default()); err != ErrSingleClass {
+	if _, err := Train(context.Background(), x, []bool{true, true}, Default()); err != ErrSingleClass {
 		t.Fatalf("single class err = %v", err)
 	}
-	if _, err := Train(x, []bool{true}, Default()); err != ErrNoData {
+	if _, err := Train(context.Background(), x, []bool{true}, Default()); err != ErrNoData {
 		t.Fatalf("mismatched labels err = %v", err)
 	}
 }
@@ -47,7 +48,7 @@ func TestLearnsSeparableData(t *testing.T) {
 	x, y := separable(rng, 200)
 	cfg := Default()
 	cfg.Trees = 30
-	f, err := Train(x, y, cfg)
+	f, err := Train(context.Background(), x, y, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestLearnsXOR(t *testing.T) {
 	cfg := Default()
 	cfg.Trees = 50
 	cfg.FeaturesPerSplit = 2
-	f, err := Train(x, y, cfg)
+	f, err := Train(context.Background(), x, y, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFeatureImportances(t *testing.T) {
 	x, y := separable(rng, 300)
 	cfg := Default()
 	cfg.Trees = 30
-	f, err := Train(x, y, cfg)
+	f, err := Train(context.Background(), x, y, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestPredictProbaRange(t *testing.T) {
 	x, y := separable(rng, 100)
 	cfg := Default()
 	cfg.Trees = 10
-	f, err := Train(x, y, cfg)
+	f, err := Train(context.Background(), x, y, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,11 +167,11 @@ func TestDeterministicForSeed(t *testing.T) {
 	x, y := separable(rng, 120)
 	cfg := Default()
 	cfg.Trees = 15
-	f1, err := Train(x, y, cfg)
+	f1, err := Train(context.Background(), x, y, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f2, err := Train(x, y, cfg)
+	f2, err := Train(context.Background(), x, y, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestMaxDepthAndMinLeafRespected(t *testing.T) {
 	cfg := Default()
 	cfg.Trees = 5
 	cfg.MaxDepth = 1
-	f, err := Train(x, y, cfg)
+	f, err := Train(context.Background(), x, y, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +199,7 @@ func TestMaxDepthAndMinLeafRespected(t *testing.T) {
 	}
 	cfg.MaxDepth = 0
 	cfg.MinLeaf = 50
-	f, err = Train(x, y, cfg)
+	f, err = Train(context.Background(), x, y, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package ocsvm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -58,8 +59,9 @@ type Model struct {
 // ErrNoData is returned for an empty training set.
 var ErrNoData = errors.New("ocsvm: empty training set")
 
-// Train fits the model on inlier-only training rows.
-func Train(x [][]float64, cfg Config) (*Model, error) {
+// Train fits the model on inlier-only training rows. The context is checked
+// each optimiser sweep; a cancelled run returns ctx.Err().
+func Train(ctx context.Context, x [][]float64, cfg Config) (*Model, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,6 +140,9 @@ func Train(x [][]float64, cfg Config) (*Model, error) {
 	}
 
 	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Most violating pair: mass should flow from high-gradient points
 		// with α>0 to low-gradient points with α<C.
 		up, down := -1, -1

@@ -1,6 +1,7 @@
 package ocsvm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func TestValidate(t *testing.T) {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}
-	if _, err := Train(nil, Default()); err != ErrNoData {
+	if _, err := Train(context.Background(), nil, Default()); err != ErrNoData {
 		t.Fatalf("empty train err = %v", err)
 	}
 }
@@ -45,7 +46,7 @@ func TestDetectsFarOutliers(t *testing.T) {
 	train := blob(rng, 150, 3)
 	cfg := Default()
 	cfg.Nu = 0.1
-	m, err := Train(train, cfg)
+	m, err := Train(context.Background(), train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestNuBoundsTrainingOutliers(t *testing.T) {
 	train := blob(rng, 200, 2)
 	cfg := Default()
 	cfg.Nu = 0.2
-	m, err := Train(train, cfg)
+	m, err := Train(context.Background(), train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestNuBoundsTrainingOutliers(t *testing.T) {
 func TestDecisionMonotoneWithDistance(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	train := blob(rng, 100, 2)
-	m, err := Train(train, Default())
+	m, err := Train(context.Background(), train, Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestConstantFeatureHandled(t *testing.T) {
 	for i := range train {
 		train[i] = append(train[i], 42) // constant third feature
 	}
-	m, err := Train(train, Default())
+	m, err := Train(context.Background(), train, Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestSupportVectorsSubset(t *testing.T) {
 	train := blob(rng, 100, 2)
 	cfg := Default()
 	cfg.Nu = 0.3
-	m, err := Train(train, cfg)
+	m, err := Train(context.Background(), train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestExplicitGamma(t *testing.T) {
 	train := blob(rng, 80, 2)
 	cfg := Default()
 	cfg.Gamma = 0.5
-	m, err := Train(train, cfg)
+	m, err := Train(context.Background(), train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +158,11 @@ func TestExplicitGamma(t *testing.T) {
 func TestDeterministic(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	train := blob(rng, 80, 2)
-	m1, err := Train(train, Default())
+	m1, err := Train(context.Background(), train, Default())
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := Train(train, Default())
+	m2, err := Train(context.Background(), train, Default())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -64,7 +64,7 @@ func Open(path string) (*Journal, error) {
 	}
 	j := &Journal{f: f, path: path}
 	if err := j.replay(); err != nil {
-		f.Close()
+		_ = f.Close() // replay's error is the one reported
 		return nil, err
 	}
 	return j, nil

@@ -67,7 +67,16 @@ func Walktrap(g *graph.Graph, steps int) Result {
 		row := make([]float64, n)
 		row[i] = 1 // self-loop weight
 		total := 1.0
-		for nb, w := range und[name] {
+		// Sum neighbour weights in sorted order: float addition is not
+		// associative, so map order would leak into the transition matrix
+		// and break bit-reproducibility of the detected communities.
+		nbs := make([]string, 0, len(und[name]))
+		for nb := range und[name] {
+			nbs = append(nbs, nb)
+		}
+		sort.Strings(nbs)
+		for _, nb := range nbs {
+			w := und[name][nb]
 			if w <= 0 {
 				w = 1e-9
 			}

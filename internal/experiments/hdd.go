@@ -256,7 +256,7 @@ func BuildHDD(ctx context.Context, sc Scale) (*HDDArtifacts, error) {
 	if err := art.runDetection(); err != nil {
 		return nil, err
 	}
-	if err := art.runBaselines(); err != nil {
+	if err := art.runBaselines(ctx); err != nil {
 		return nil, err
 	}
 	return art, nil
@@ -320,7 +320,7 @@ func (art *HDDArtifacts) runDetection() error {
 }
 
 // runBaselines trains the Random Forest and one-class SVM of Table II.
-func (art *HDDArtifacts) runBaselines() error {
+func (art *HDDArtifacts) runBaselines(ctx context.Context) error {
 	samples := art.Fleet.TabularSamples()
 	rng := rand.New(rand.NewSource(art.Scale.Seed + 1))
 
@@ -376,7 +376,7 @@ func (art *HDDArtifacts) runBaselines() error {
 		fcfg := forest.Default()
 		fcfg.Trees = 60
 		fcfg.Seed = art.Scale.Seed + 2 + int64(f)
-		rf, err := forest.Train(x, y, fcfg)
+		rf, err := forest.Train(ctx, x, y, fcfg)
 		if err != nil {
 			return fmt.Errorf("experiments: random forest: %w", err)
 		}
@@ -424,7 +424,7 @@ func (art *HDDArtifacts) runBaselines() error {
 	// the healthy false-positive rate near ν; the tight default boundary
 	// would flag ~20% of healthy days and inflate recall.
 	ocfg.Gamma = 0.005
-	oc, err := ocsvm.Train(healthyTrain, ocfg)
+	oc, err := ocsvm.Train(ctx, healthyTrain, ocfg)
 	if err != nil {
 		return fmt.Errorf("experiments: oc-svm: %w", err)
 	}

@@ -381,13 +381,13 @@ func (g *Graph) DOT(name string, popular []string) string {
 // undirected projection (weights ignored, multi-edges collapsed).
 func (g *Graph) Modularity(partition map[string]int) float64 {
 	und := g.Undirected()
-	var m float64 // total undirected edge count
+	var degSum int // twice the undirected edge count; summed as an int so map order cannot perturb it
 	deg := make(map[string]float64, len(und))
 	for a, nb := range und {
 		deg[a] = float64(len(nb))
-		m += float64(len(nb))
+		degSum += len(nb)
 	}
-	m /= 2
+	m := float64(degSum) / 2
 	if m == 0 {
 		return 0
 	}
@@ -407,8 +407,16 @@ func (g *Graph) Modularity(partition map[string]int) float64 {
 			}
 		}
 	}
+	// Sum per-community terms in sorted order so Q is bit-identical run to
+	// run regardless of map iteration order.
+	comms := make([]int, 0, len(commDeg))
+	for c := range commDeg {
+		comms = append(comms, c)
+	}
+	sort.Ints(comms)
 	var q float64
-	for c, d := range commDeg {
+	for _, c := range comms {
+		d := commDeg[c]
 		q += commEdges[c]/(2*m) - (d/(2*m))*(d/(2*m))
 	}
 	return q

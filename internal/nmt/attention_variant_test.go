@@ -1,6 +1,7 @@
 package nmt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,10 @@ func TestAttentionVariantsLearnCopyTask(t *testing.T) {
 			if _, err := m.Train(src, tgt); err != nil {
 				t.Fatal(err)
 			}
-			score := ScoreCorpus(m, src[:15], tgt[:15])
+			score, err := ScoreCorpus(context.Background(), m, src[:15], tgt[:15])
+			if err != nil {
+				t.Fatal(err)
+			}
 			if score < 40 {
 				t.Fatalf("%s attention copy-task BLEU = %.1f, want >= 40", kind, score)
 			}

@@ -1,6 +1,7 @@
 package nmt
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -40,10 +41,16 @@ func TestScoreCorpusCachedMatchesUncached(t *testing.T) {
 		devTgt = append(devTgt, tgt[16:]...)
 	}
 
-	cached := ScoreCorpus(m, devSrc, devTgt)
+	cached, err := ScoreCorpus(context.Background(), m, devSrc, devTgt)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	m.SetTranslationCaching(false)
-	uncached := ScoreCorpus(m, devSrc, devTgt)
+	uncached, err := ScoreCorpus(context.Background(), m, devSrc, devTgt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m.SetTranslationCaching(true)
 
 	if math.Float64bits(cached) != math.Float64bits(uncached) {
@@ -166,6 +173,8 @@ func BenchmarkScoreCorpusCached(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ScoreCorpus(m, src[16:], tgt[16:])
+		if _, err := ScoreCorpus(context.Background(), m, src[16:], tgt[16:]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -93,7 +93,10 @@ func TestModelLearnsCopyTask(t *testing.T) {
 	if res.Steps != 400 {
 		t.Fatalf("Steps = %d", res.Steps)
 	}
-	score := ScoreCorpus(model, src[:20], tgt[:20])
+	score, err := ScoreCorpus(context.Background(), model, src[:20], tgt[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if score < 70 {
 		t.Fatalf("copy-task BLEU = %.1f, want >= 70 (final loss %.3f)", score, res.FinalLoss)
 	}

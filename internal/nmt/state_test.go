@@ -1,6 +1,7 @@
 package nmt
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"testing"
@@ -119,7 +120,10 @@ func TestPaperScaleSinglePairConvergence(t *testing.T) {
 	// Deterministic checkpoint on the convergence trajectory measured in
 	// calibration: BLEU ~60 at 800 steps, ~72 at the paper's 1000, ~84 at
 	// 1600. 800 steps keeps this test under a minute on one core.
-	score := ScoreCorpus(m, srcSents[n:], tgtSents[n:])
+	score, err := ScoreCorpus(context.Background(), m, srcSents[n:], tgtSents[n:])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if score < 55 {
 		t.Fatalf("paper-scale pair BLEU = %.1f, want >= 55", score)
 	}

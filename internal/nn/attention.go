@@ -96,10 +96,13 @@ func (a *LuongAttention) Forward(enc [][]float64, h []float64) *AttnStep {
 
 // ForwardWS is Forward with the weights/context/score buffers drawn from ws
 // (nil ws allocates). The returned cache is valid until ws.Reset.
+//
+//mdes:noalloc
 func (a *LuongAttention) ForwardWS(ws *Workspace, enc [][]float64, h []float64) *AttnStep {
 	checkLen("attention h", len(h), a.Hidden)
 	n := len(enc)
 	var st *AttnStep
+	//mdes:allow(noalloc) nil-workspace fallback: the heap path serves only the WS-less compat API
 	if ws == nil {
 		st = &AttnStep{}
 	} else {
@@ -166,6 +169,8 @@ func (a *LuongAttention) Backward(st *AttnStep, dHTilde []float64, dh []float64,
 }
 
 // BackwardWS is Backward with scratch buffers drawn from ws (nil allocates).
+//
+//mdes:noalloc
 func (a *LuongAttention) BackwardWS(ws *Workspace, st *AttnStep, dHTilde []float64, dh []float64, dEnc [][]float64) {
 	checkLen("attention dHTilde", len(dHTilde), a.Hidden)
 	checkLen("attention dh", len(dh), a.Hidden)

@@ -49,6 +49,8 @@ func (l *LSTMCell) Step(x, hPrev, cPrev []float64) *LSTMStep {
 // ws falls back to fresh heap slices). hPrev and cPrev must have length
 // Hidden; x length In. The returned cache and its buffers are valid until
 // ws.Reset (inputs are referenced, not copied).
+//
+//mdes:noalloc
 func (l *LSTMCell) StepWS(ws *Workspace, x, hPrev, cPrev []float64) *LSTMStep {
 	checkLen("lstm x", len(x), l.In)
 	checkLen("lstm hPrev", len(hPrev), l.Hidden)
@@ -61,6 +63,7 @@ func (l *LSTMCell) StepWS(ws *Workspace, x, hPrev, cPrev []float64) *LSTMStep {
 	mat.Axpy(1, l.B.W.Data, gates)
 
 	var st *LSTMStep
+	//mdes:allow(noalloc) nil-workspace fallback: the heap path serves only the WS-less compat API
 	if ws == nil {
 		st = &LSTMStep{}
 	} else {
@@ -89,6 +92,8 @@ func (l *LSTMCell) StepBackward(st *LSTMStep, dh, dc, dx, dhPrev, dcPrev []float
 
 // StepBackwardWS is StepBackward with its gate-gradient scratch drawn from ws
 // (nil ws allocates).
+//
+//mdes:noalloc
 func (l *LSTMCell) StepBackwardWS(ws *Workspace, st *LSTMStep, dh, dc, dx, dhPrev, dcPrev []float64) {
 	h := l.Hidden
 	checkLen("lstm dh", len(dh), h)
@@ -222,9 +227,12 @@ func (s *StackedLSTM) Step(st *StackState, x []float64, rng *rand.Rand) (*StackS
 // masks, caches) drawn from ws; a nil ws allocates fresh slices. The RNG
 // consumption is identical either way, so workspace and heap runs produce the
 // same dropout masks and therefore the same training trajectory.
+//
+//mdes:noalloc
 func (s *StackedLSTM) StepWS(ws *Workspace, st *StackState, x []float64, rng *rand.Rand) (*StackState, *StackStep) {
 	var next *StackState
 	var cache *StackStep
+	//mdes:allow(noalloc) nil-workspace fallback: the heap path serves only the WS-less compat API
 	if ws == nil {
 		next = &StackState{H: make([][]float64, len(s.Cells)), C: make([][]float64, len(s.Cells))}
 		cache = &StackStep{
@@ -298,6 +306,8 @@ func (s *StackedLSTM) StepBackward(cache *StackStep, dTop []float64, carry *Stac
 // StepBackwardWS is StepBackward with all per-step gradient buffers drawn
 // from ws (nil ws allocates). The carry's DH/DC slices are replaced with
 // workspace memory, so the carry is only valid until ws.Reset.
+//
+//mdes:noalloc
 func (s *StackedLSTM) StepBackwardWS(ws *Workspace, cache *StackStep, dTop []float64, carry *StackGrad, dx []float64) {
 	top := len(s.Cells) - 1
 	dh := wsVec(ws, s.Cells[top].Hidden)

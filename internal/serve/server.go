@@ -1,11 +1,11 @@
 package serve
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -219,6 +219,7 @@ func (s *Server) createSession(tenant, wantModel string) (*session, int, error) 
 	var stream *mdes.Stream
 	restored := false
 	if s.opts.SnapshotDir != "" {
+		//mdes:allow(lockcall) creation must be atomic: the registry lock is what stops two requests racing to restore the same tenant; this path never runs per-tick
 		snap, ok, err := loadSnapshot(s.opts.SnapshotDir, tenant)
 		if err != nil {
 			s.reg.mu.Unlock()
@@ -325,6 +326,16 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	// Full duplex disables the server's own pre-response body drain, so a
+	// handler that aborts mid-stream leaves unread bytes on the connection —
+	// and net/http then panics with "invalid concurrent Body.Read call" when
+	// it peeks for the next request. Drain a bounded amount on the way out
+	// (a no-op on the happy path, where the scanner reached EOF) and close
+	// the body so an over-limit upload poisons only its own connection.
+	defer func() {
+		_, _ = io.CopyN(io.Discard, r.Body, maxTickLine)
+		_ = r.Body.Close()
+	}()
 	enc := json.NewEncoder(w)
 	wrote := false
 	fail := func(code int, msg string) {
@@ -336,15 +347,13 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		enc.Encode(wireError{Error: msg})
 	}
 
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), maxTickLine)
+	sc := tickScanner(r.Body)
 	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+		tick, skip, err := decodeTick(sc.Bytes())
+		if skip {
 			continue
 		}
-		var tick map[string]string
-		if err := json.Unmarshal(line, &tick); err != nil {
+		if err != nil {
 			s.met.tickErrors.Add(1)
 			fail(http.StatusBadRequest, fmt.Sprintf("tick %d: %v", sess.stream.Ticks(), err))
 			return
@@ -362,7 +371,9 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 				return // client went away
 			}
 			wrote = true
-			rc.Flush()
+			if err := rc.Flush(); err != nil {
+				return // client went away
+			}
 			s.met.pointsEmitted.Add(1)
 		}
 	}
@@ -494,6 +505,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		sess.mu.Lock()
 		if s.opts.SnapshotDir != "" && sess.dirty {
 			snap := sessionSnapshot{Tenant: sess.tenant, Model: sess.model, Stream: sess.stream.Snapshot()}
+			//mdes:allow(lockcall) drain-time only: the server has stopped accepting ticks, and the session lock guarantees the snapshot is the final state
 			if err := saveSnapshot(s.opts.SnapshotDir, sess.tenant, snap); err != nil {
 				s.met.snapshotErrors.Add(1)
 				if firstErr == nil {

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -537,4 +540,86 @@ func TestManyTenantsUnderRace(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// TestAbortMidBodyDoesNotPanic pins the full-duplex abort path: a handler
+// that rejects a tick and returns while the client still has body in flight
+// must not trip net/http's "invalid concurrent Body.Read call" panic (the
+// server now drains a bounded remainder before returning), and the server
+// must keep answering afterwards.
+func TestAbortMidBodyDoesNotPanic(t *testing.T) {
+	var logBuf strings.Builder
+	var logMu sync.Mutex
+	srv, err := New(Options{Models: map[string]*mdes.Model{"default": testModel(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewUnstartedServer(srv)
+	hs.Config.ErrorLog = log.New(lockedWriter{&logMu, &logBuf}, "", 0)
+	hs.Start()
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Shutdown(context.Background())
+	})
+
+	// Speak HTTP/1.1 over a raw keep-alive connection, the way curl does:
+	// the whole body — one malformed line plus a remainder the handler will
+	// never ask for — is already sitting in the server's socket buffer when
+	// the handler aborts, and the connection then tries to serve a second
+	// request. Go's http.Client doesn't reproduce this; the raw conn does.
+	body := "{not json\n" + strings.Repeat(strings.Repeat("x", 63)+"\n", 512)
+	conn, err := net.Dial("tcp", hs.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := fmt.Sprintf("POST /v1/streams/abort/ticks HTTP/1.1\r\nHost: x\r\nContent-Length: %d\r\nContent-Type: application/x-ndjson\r\n\r\n%s", len(body), body)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("abort status = %d, want 400", resp.StatusCode)
+	}
+
+	// Same connection, next request: this is the Peek that raced the body
+	// cleanup. Without the drain it panics server-side and the read errors.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatalf("second request on kept-alive connection: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after abort = %d, want 200", resp.StatusCode)
+	}
+
+	logMu.Lock()
+	logged := logBuf.String()
+	logMu.Unlock()
+	if strings.Contains(logged, "panic") {
+		t.Fatalf("server panicked:\n%s", logged)
+	}
+}
+
+// lockedWriter serialises ErrorLog writes from concurrent conn goroutines.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }

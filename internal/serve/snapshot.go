@@ -46,11 +46,11 @@ func saveSnapshot(dir, tenant string, snap sessionSnapshot) error {
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(frame); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the write error is the one reported
 		return fmt.Errorf("serve: write snapshot for %q: %w", tenant, err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close() // the sync error is the one reported
 		return fmt.Errorf("serve: sync snapshot for %q: %w", tenant, err)
 	}
 	if err := tmp.Close(); err != nil {

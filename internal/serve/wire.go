@@ -18,7 +18,13 @@
 //   - observability: /metrics in Prometheus text format, /healthz, /readyz.
 package serve
 
-import "mdes"
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"mdes"
+)
 
 // WirePoint is the NDJSON wire form of one detection point, shared by the
 // server, the client helper, the load generator, and mdes-detect's JSON
@@ -53,6 +59,27 @@ func PointWire(p mdes.Point) WirePoint {
 // response status has already been written.
 type wireError struct {
 	Error string `json:"error"`
+}
+
+// tickScanner wraps an NDJSON tick stream in a line scanner whose buffer
+// admits one maximum-size tick line.
+func tickScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxTickLine)
+	return sc
+}
+
+// decodeTick parses one NDJSON line into a tick. Blank lines separate
+// nothing and are skipped; any other line must be a flat JSON object mapping
+// sensor names to event strings.
+func decodeTick(line []byte) (tick map[string]string, skip bool, err error) {
+	if len(line) == 0 {
+		return nil, true, nil
+	}
+	if err := json.Unmarshal(line, &tick); err != nil {
+		return nil, false, err
+	}
+	return tick, false, nil
 }
 
 // SessionInfo describes one live or queried session.

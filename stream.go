@@ -116,18 +116,22 @@ func (s *Stream) SetScorer(fn func(jobs []ScoreJob, row []float64) error) { s.sc
 // model does not know are ignored; modelled sensors missing from the tick
 // are an error. When a full new sentence is available, Push returns the
 // detection Point for it; otherwise it returns nil.
+//
+//mdes:noalloc
 func (s *Stream) Push(tick map[string]string) (*Point, error) {
 	// Validate the whole tick before touching any buffer: a tick missing one
 	// modelled sensor must leave the stream state untouched, not advance the
 	// sensors iterated before the error was noticed.
 	for _, name := range s.names {
 		if _, ok := tick[name]; !ok {
+			//mdes:allow(noalloc) cold error path: a malformed tick aborts the push
 			return nil, fmt.Errorf("%w: %q missing from tick %d", ErrMisaligned, name, s.ticks)
 		}
 	}
 	for _, name := range s.names {
 		w := s.win[name]
 		if len(w) < s.span {
+			//mdes:allow(noalloc) warm-up only: the window was sized to span in NewStream, so this append never grows it
 			s.win[name] = append(w, tick[name])
 		} else {
 			// Shift down in place instead of append-and-reslice: the window
@@ -149,6 +153,8 @@ func (s *Stream) Push(tick map[string]string) (*Point, error) {
 
 // emit encodes the current window into one sentence per sensor, scores every
 // valid relationship, and evaluates Algorithm 2 for the timestamp.
+//
+//mdes:noalloc
 func (s *Stream) emit() (*Point, error) {
 	lc := s.model.cfg.Language
 	for _, name := range s.names {
@@ -177,6 +183,7 @@ func (s *Stream) emit() (*Point, error) {
 	for k, rel := range s.rels {
 		m := s.model.pairs[[2]string{rel.Src, rel.Tgt}]
 		if m == nil {
+			//mdes:allow(noalloc) cold error path: a missing pair model is a corrupt-model condition
 			return nil, fmt.Errorf("mdes: no model for valid pair %s->%s", rel.Src, rel.Tgt)
 		}
 		jobs = append(jobs, ScoreJob{
@@ -188,6 +195,7 @@ func (s *Stream) emit() (*Point, error) {
 	s.jobs = jobs
 	if s.scorer != nil {
 		if err := s.scorer(jobs, s.row); err != nil {
+			//mdes:allow(noalloc) cold error path: scorer failure aborts the point
 			return nil, fmt.Errorf("mdes: stream scorer: %w", err)
 		}
 	} else {
