@@ -96,6 +96,7 @@ func run(args []string, logw io.Writer) error {
 	maxInflight := fs.Int("max-inflight", 0, "concurrent tick requests before 429 (0 = 2x GOMAXPROCS)")
 	scoreWorkers := fs.Int("score-workers", 0, "pairwise scoring pool size (0 = GOMAXPROCS)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	scoreDeadline := fs.Duration("score-deadline", 0, "answer ticks degraded (last valid score + degraded=true) when a window cannot be scored within this budget (0 = strict)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,14 +112,15 @@ func run(args []string, logw io.Writer) error {
 		}
 	}
 	srv, err := serve.New(serve.Options{
-		Models:       loaded,
-		DefaultModel: *defaultModel,
-		SnapshotDir:  *snapshots,
-		SessionTTL:   *sessionTTL,
-		MaxSessions:  *maxSessions,
-		MaxInflight:  *maxInflight,
-		ScoreWorkers: *scoreWorkers,
-		RetryAfter:   *retryAfter,
+		Models:        loaded,
+		DefaultModel:  *defaultModel,
+		SnapshotDir:   *snapshots,
+		SessionTTL:    *sessionTTL,
+		MaxSessions:   *maxSessions,
+		MaxInflight:   *maxInflight,
+		ScoreWorkers:  *scoreWorkers,
+		RetryAfter:    *retryAfter,
+		ScoreDeadline: *scoreDeadline,
 	})
 	if err != nil {
 		return err

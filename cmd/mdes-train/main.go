@@ -136,8 +136,12 @@ func run(args []string, stdout io.Writer) error {
 		Checkpoint: *ckpt,
 		Resume:     *resume,
 		Progress: func(p mdes.TrainProgress) {
-			if p.Src == "" && p.Resumed > 0 {
-				fmt.Fprintf(stdout, "resumed %d/%d pairs from checkpoint\n", p.Resumed, p.Total)
+			if p.Src == "" && (p.Resumed > 0 || p.TornTail) {
+				msg := fmt.Sprintf("resumed %d/%d pairs from checkpoint", p.Resumed, p.Total)
+				if p.TornTail {
+					msg += " (dropped a torn record from a crash mid-append)"
+				}
+				fmt.Fprintln(stdout, msg)
 				return
 			}
 			if time.Since(lastLine) < *progressEvery && p.Done < p.Total {

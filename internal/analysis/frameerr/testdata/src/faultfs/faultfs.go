@@ -1,0 +1,23 @@
+// Package faultfs is a miniature stand-in for the repo's internal/faultfs:
+// the File interface is the handle every durable artefact is written
+// through, so discarded Sync/Close errors on it are exactly the bugs
+// frameerr exists to catch.
+package faultfs
+
+import "io"
+
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Name() string
+}
+
+type FS interface {
+	OpenFile(name string, flag int, perm uint32) (File, error)
+	Rename(oldpath, newpath string) error
+	SyncDir(dir string) error
+}

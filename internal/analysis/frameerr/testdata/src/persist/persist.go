@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"checkpoint"
+	"faultfs"
 )
 
 type journal struct {
@@ -62,4 +63,34 @@ func (voidFlusher) Flush() {}
 
 func useVoid(v voidFlusher) {
 	v.Flush()
+}
+
+// --- faultfs handles ------------------------------------------------------
+// Injected-filesystem handles carry the same durability contract as *os.File:
+// the Sync/Close error is where a simulated (or real) write failure surfaces.
+
+func faultyAppend(f faultfs.File, frame []byte) error {
+	if _, err := f.Write(frame); err != nil {
+		return err
+	}
+	f.Sync()  // want `error from Sync is discarded`
+	f.Close() // want `error from Close is discarded`
+	return nil
+}
+
+func faultyAppendGood(f faultfs.File, frame []byte) error {
+	if _, err := f.Write(frame); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Read-only audit: explicit discard stays sanctioned for faultfs handles too.
+func auditRecords(f faultfs.File) ([]byte, error) {
+	b, err := io.ReadAll(f)
+	_ = f.Close()
+	return b, err
 }

@@ -1,0 +1,227 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"mdes/internal/checkpoint"
+	"mdes/internal/faultfs"
+)
+
+// JournalHandle is the journal surface the soak exercises; *checkpoint.Journal
+// satisfies it. The indirection exists so the soak can also be pointed at a
+// deliberately broken implementation and demonstrate that it catches the bug
+// (see OpenJournalNoTruncate).
+type JournalHandle interface {
+	Records() []checkpoint.PairRecord
+	Append(checkpoint.PairRecord) error
+	Close() error
+}
+
+// JournalOpener opens (or reopens) a journal on fsys.
+type JournalOpener func(fsys faultfs.FS, path string) (JournalHandle, error)
+
+// OpenJournal is the production recovery path: checkpoint.OpenFS, which
+// replays intact records and truncates a torn tail.
+func OpenJournal(fsys faultfs.FS, path string) (JournalHandle, error) {
+	return checkpoint.OpenFS(fsys, path)
+}
+
+// OpenJournalNoTruncate is a sabotaged recovery path for validating the soak
+// itself: it replays intact records like the real one but skips the torn-tail
+// truncate and appends at the raw end of file, so new records land after
+// crash garbage and are unreachable to the frame parser. JournalSoak against
+// it must fail — if it ever passes, the soak has lost its teeth.
+func OpenJournalNoTruncate(fsys faultfs.FS, path string) (JournalHandle, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		_ = f.Close() // the read error is the one reported
+		return nil, err
+	}
+	j := &rawJournal{f: f}
+	payloads, _, _ := checkpoint.Frames(data)
+	for _, p := range payloads {
+		var rec checkpoint.PairRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			break
+		}
+		j.recs = append(j.recs, rec)
+	}
+	// The bug under test: no Truncate(valid), no Seek(valid) — the write
+	// position stays at raw EOF, beyond any torn tail.
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		_ = f.Close() // the seek error is the one reported
+		return nil, err
+	}
+	return j, nil
+}
+
+// rawJournal is OpenJournalNoTruncate's handle.
+type rawJournal struct {
+	f    faultfs.File
+	recs []checkpoint.PairRecord
+}
+
+func (j *rawJournal) Records() []checkpoint.PairRecord {
+	return append([]checkpoint.PairRecord(nil), j.recs...)
+}
+
+func (j *rawJournal) Append(rec checkpoint.PairRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(checkpoint.AppendFrame(nil, payload)); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.recs = append(j.recs, rec)
+	return nil
+}
+
+func (j *rawJournal) Close() error { return j.f.Close() }
+
+// JournalSoakReport summarises one JournalSoak run.
+type JournalSoakReport struct {
+	Iterations int
+	Crashes    int // iterations whose crash point fired mid-workload
+	TornTails  int // recoveries that found more bytes than intact records
+	Replayed   int // records replayed across all recoveries
+}
+
+// soakRecords builds the fixed record set every iteration appends: identity
+// and scores vary per record so a replayed journal can be position-checked.
+func soakRecords() []checkpoint.PairRecord {
+	recs := make([]checkpoint.PairRecord, 10)
+	for i := range recs {
+		recs[i] = checkpoint.PairRecord{
+			Src:     fmt.Sprintf("s%02d", i),
+			Tgt:     fmt.Sprintf("t%02d", i),
+			BLEU:    float64(i) * 7.5,
+			Runtime: time.Duration(i+1) * time.Millisecond,
+		}
+	}
+	return recs
+}
+
+func recEqual(a, b checkpoint.PairRecord) bool {
+	return a.Src == b.Src && a.Tgt == b.Tgt && a.BLEU == b.BLEU && a.Runtime == b.Runtime
+}
+
+// JournalSoak runs iters crash/recover cycles of journal appending through
+// open: append a fixed record sequence, crash at a random IO op, recover,
+// reopen, and assert the journal is an exact prefix of the sequence covering
+// every confirmed append (durability: nothing acknowledged is lost;
+// integrity: nothing corrupt is replayed). The iteration then finishes the
+// sequence and asserts a final reopen replays it exactly. Run it with
+// OpenJournal to certify the production path, or OpenJournalNoTruncate to
+// certify the soak catches broken recovery.
+func JournalSoak(ctx context.Context, seed int64, iters int, open JournalOpener) (JournalSoakReport, error) {
+	rep := JournalSoakReport{Iterations: iters}
+	recs := soakRecords()
+
+	// Probe: ops in one clean, fault-free iteration.
+	probe := faultfs.NewInject(seed, faultfs.Faults{})
+	j, err := open(probe, "j")
+	if err != nil {
+		return rep, fmt.Errorf("chaos: journal probe open: %w", err)
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			return rep, fmt.Errorf("chaos: journal probe append: %w", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		return rep, fmt.Errorf("chaos: journal probe close: %w", err)
+	}
+	totalOps := probe.Ops()
+
+	rng := rand.New(rand.NewSource(seed))
+	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		ifs := faultfs.NewInject(seed*1_000_003+int64(it), standingFaults())
+		ifs.CrashAfter(1 + rng.Int63n(totalOps))
+
+		// Phase 1: append until the crash (or a standing fault) stops us.
+		confirmed := 0
+		if j, err := open(ifs, "j"); err == nil {
+			for _, rec := range recs {
+				if err := j.Append(rec); err != nil {
+					break
+				}
+				confirmed++
+			}
+			_ = j.Close() // the process is "dying"; nothing left to flush
+		}
+		if ifs.Crashed() {
+			rep.Crashes++
+		}
+		ifs.Recover()
+		ifs.SetFaults(faultfs.Faults{})
+
+		// Phase 2: recovery must replay an exact prefix covering every
+		// confirmed append.
+		j, err := open(ifs, "j")
+		if err != nil {
+			return rep, fmt.Errorf("chaos: iteration %d: reopen after crash: %w", it, err)
+		}
+		got := j.Records()
+		rep.Replayed += len(got)
+		if len(got) < confirmed {
+			_ = j.Close()
+			return rep, fmt.Errorf("chaos: iteration %d: %d confirmed appends but only %d replayed — acknowledged data lost", it, confirmed, len(got))
+		}
+		if len(got) > len(recs) {
+			_ = j.Close()
+			return rep, fmt.Errorf("chaos: iteration %d: replayed %d records, more than the %d ever written", it, len(got), len(recs))
+		}
+		for i, g := range got {
+			if !recEqual(g, recs[i]) {
+				_ = j.Close()
+				return rep, fmt.Errorf("chaos: iteration %d: record %d replayed corrupt: got %s->%s, want %s->%s", it, i, g.Src, g.Tgt, recs[i].Src, recs[i].Tgt)
+			}
+		}
+		if len(got) > confirmed {
+			rep.TornTails++ // an in-flight record survived whole; allowed
+		}
+
+		// Phase 3: finish the run and audit the final journal.
+		for i := len(got); i < len(recs); i++ {
+			if err := j.Append(recs[i]); err != nil {
+				_ = j.Close()
+				return rep, fmt.Errorf("chaos: iteration %d: append after recovery: %w", it, err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			return rep, fmt.Errorf("chaos: iteration %d: close after recovery: %w", it, err)
+		}
+		j2, err := open(ifs, "j")
+		if err != nil {
+			return rep, fmt.Errorf("chaos: iteration %d: final reopen: %w", it, err)
+		}
+		final := j2.Records()
+		_ = j2.Close() // read-only audit
+		if len(final) != len(recs) {
+			return rep, fmt.Errorf("chaos: iteration %d: final journal replays %d/%d records — recovery lost the tail", it, len(final), len(recs))
+		}
+		for i, g := range final {
+			if !recEqual(g, recs[i]) {
+				return rep, fmt.Errorf("chaos: iteration %d: final record %d corrupt: got %s->%s", it, i, g.Src, g.Tgt)
+			}
+		}
+	}
+	return rep, nil
+}

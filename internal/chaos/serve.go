@@ -1,0 +1,306 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+
+	"mdes"
+	"mdes/internal/checkpoint"
+	"mdes/internal/faultfs"
+	"mdes/internal/serve"
+)
+
+// serveTenants is the tenant set every ServeSoak iteration drives; more than
+// one so a crash interleaves with several sessions' persistence.
+var serveTenants = []string{"alpha", "beta", "gamma"}
+
+const (
+	serveTicks = 36 // ticks pushed per tenant per iteration
+	serveBatch = 6  // ticks per request; snapshots land on these boundaries
+)
+
+// snapMirror decodes the serve layer's snapshot record (the wire format is
+// part of the durability contract; the soak checks it from the outside).
+type snapMirror struct {
+	Tenant string              `json:"tenant"`
+	Model  string              `json:"model"`
+	Stream mdes.StreamSnapshot `json:"stream"`
+}
+
+// ServeSoakReport summarises one ServeSoak run.
+type ServeSoakReport struct {
+	Iterations  int
+	Crashes     int // iterations whose crash point fired mid-workload
+	FreshStarts int // tenant recoveries that found no usable snapshot
+	Restored    int // tenant recoveries that resumed from a snapshot
+}
+
+// tenantTicks derives each tenant's deterministic tick sequence from the
+// soak dataset generator (distinct seed per tenant, same alphabet as the
+// model's languages).
+func tenantTicks(tenant string) []map[string]string {
+	seed := int64(0)
+	for _, r := range tenant {
+		seed = seed*131 + int64(r)
+	}
+	ds := soakDataset(seed, serveTicks)
+	out := make([]map[string]string, serveTicks)
+	for t := 0; t < serveTicks; t++ {
+		m := make(map[string]string, len(ds.Sequences))
+		for _, s := range ds.Sequences {
+			m[s.Sensor] = s.Events[t]
+		}
+		out[t] = m
+	}
+	return out
+}
+
+// referenceBoundaries replays a tenant's ticks on a standalone stream and
+// captures the stream snapshot at every request boundary (the only states
+// the server may legally persist), plus the points each tick emits.
+func referenceBoundaries(model *mdes.Model, ticks []map[string]string) (map[int]mdes.StreamSnapshot, []*mdes.Point, error) {
+	st := model.NewStream()
+	bounds := map[int]mdes.StreamSnapshot{0: st.Snapshot()}
+	points := make([]*mdes.Point, 0, len(ticks))
+	for i, tick := range ticks {
+		p, err := st.Push(tick)
+		if err != nil {
+			return nil, nil, err
+		}
+		points = append(points, p)
+		if (i+1)%serveBatch == 0 || i == len(ticks)-1 {
+			bounds[st.Ticks()] = st.Snapshot()
+		}
+	}
+	return bounds, points, nil
+}
+
+// ServeSoak runs iters crash/restart cycles of the multi-tenant server over
+// an injected filesystem: ingest ticks for several tenants, crash at a
+// random IO operation, recover the disk, and audit that (1) every surviving
+// tenant snapshot is an intact frame whose stream state equals the
+// reference at that request boundary — never torn, never off-boundary — and
+// (2) a restarted server resumes each tenant from that snapshot and emits
+// the remaining detection points bit-for-bit. The final state of the
+// restarted server must match the crash-free reference exactly.
+func ServeSoak(ctx context.Context, seed int64, iters int) (ServeSoakReport, error) {
+	rep := ServeSoakReport{Iterations: iters}
+	if err := fixture(); err != nil {
+		return rep, err
+	}
+	model := fixModel
+	const dir = "snaps"
+
+	ticks := make(map[string][]map[string]string, len(serveTenants))
+	bounds := make(map[string]map[int]mdes.StreamSnapshot, len(serveTenants))
+	points := make(map[string][]*mdes.Point, len(serveTenants))
+	for _, tenant := range serveTenants {
+		ticks[tenant] = tenantTicks(tenant)
+		b, p, err := referenceBoundaries(model, ticks[tenant])
+		if err != nil {
+			return rep, fmt.Errorf("chaos: reference stream for %q: %w", tenant, err)
+		}
+		bounds[tenant] = b
+		points[tenant] = p
+	}
+
+	newServer := func(ifs *faultfs.InjectFS) (*serve.Server, *httptest.Server, error) {
+		srv, err := serve.New(serve.Options{
+			Models:       map[string]*mdes.Model{"m": model},
+			SnapshotDir:  dir,
+			FS:           ifs,
+			ScoreWorkers: 2,
+			MaxInflight:  8,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return srv, httptest.NewServer(srv), nil
+	}
+
+	// pushAll drives every tenant's ticks from `from` in request batches,
+	// round-robin across tenants so their persists interleave. IO errors are
+	// returned; the caller decides whether they are expected (crash phase).
+	pushAll := func(base string, from map[string]int) error {
+		client := &serve.Client{BaseURL: base}
+		var firstErr error
+		for off := 0; off < serveTicks; off += serveBatch {
+			for _, tenant := range serveTenants {
+				start := from[tenant]
+				lo, hi := off, off+serveBatch
+				if hi > serveTicks {
+					hi = serveTicks
+				}
+				if lo < start {
+					lo = start
+				}
+				if lo >= hi {
+					continue
+				}
+				if _, err := client.PushTicks(ctx, tenant, ticks[tenant][lo:hi]); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				}
+			}
+		}
+		return firstErr
+	}
+
+	// Probe: ops for one clean iteration (workload + shutdown), so the
+	// crash sweep covers ingest persists and drain-time persists alike.
+	probe := faultfs.NewInject(seed, faultfs.Faults{})
+	srv, hs, err := newServer(probe)
+	if err != nil {
+		return rep, err
+	}
+	if err := pushAll(hs.URL, map[string]int{}); err != nil {
+		return rep, fmt.Errorf("chaos: probe workload: %w", err)
+	}
+	hs.Close()
+	if err := srv.Shutdown(ctx); err != nil {
+		return rep, fmt.Errorf("chaos: probe shutdown: %w", err)
+	}
+	for _, tenant := range serveTenants {
+		if err := auditTenant(probe, dir, tenant, bounds[tenant], serveTicks); err != nil {
+			return rep, fmt.Errorf("chaos: probe: %w", err)
+		}
+	}
+	totalOps := probe.Ops()
+
+	rng := rand.New(rand.NewSource(seed))
+	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		ifs := faultfs.NewInject(seed*1_000_003+int64(it), standingFaults())
+		ifs.CrashAfter(1 + rng.Int63n(totalOps))
+
+		// Phase 1: ingest until the crash. Request errors are expected once
+		// the disk is gone (or a standing fault fires); the stream state the
+		// server acknowledged before then is what recovery is audited on.
+		srv, hs, err := newServer(ifs)
+		if err != nil {
+			return rep, err
+		}
+		_ = pushAll(hs.URL, map[string]int{})
+		hs.Close()
+		_ = srv.Shutdown(ctx) // persists what it can onto the dying disk
+		if ifs.Crashed() {
+			rep.Crashes++
+		}
+		ifs.Recover()
+		ifs.SetFaults(faultfs.Faults{})
+
+		// Phase 2: the surviving snapshots must be intact, on-boundary, and
+		// bit-identical to the reference at that boundary.
+		resumeFrom := make(map[string]int, len(serveTenants))
+		for _, tenant := range serveTenants {
+			n, err := restoredTicks(ifs, dir, tenant, bounds[tenant])
+			if err != nil {
+				return rep, fmt.Errorf("chaos: iteration %d: %w", it, err)
+			}
+			resumeFrom[tenant] = n
+			if n == 0 {
+				rep.FreshStarts++
+			} else {
+				rep.Restored++
+			}
+		}
+
+		// Phase 3: a restarted server must continue every tenant bit-for-bit
+		// from its snapshot: remaining points identical to the reference,
+		// final durable state identical to the crash-free run.
+		srv2, hs2, err := newServer(ifs)
+		if err != nil {
+			return rep, err
+		}
+		client := &serve.Client{BaseURL: hs2.URL}
+		for _, tenant := range serveTenants {
+			from := resumeFrom[tenant]
+			got, err := client.PushTicks(ctx, tenant, ticks[tenant][from:])
+			if err != nil {
+				hs2.Close()
+				return rep, fmt.Errorf("chaos: iteration %d: resume %q: %w", it, tenant, err)
+			}
+			var want []serve.WirePoint
+			for _, p := range points[tenant][from:] {
+				if p != nil {
+					want = append(want, serve.PointWire(*p))
+				}
+			}
+			if !reflect.DeepEqual(got, want) {
+				hs2.Close()
+				return rep, fmt.Errorf("chaos: iteration %d: tenant %q resumed points diverge: got %+v, want %+v", it, tenant, got, want)
+			}
+		}
+		hs2.Close()
+		if err := srv2.Shutdown(ctx); err != nil {
+			return rep, fmt.Errorf("chaos: iteration %d: clean shutdown after recovery: %w", it, err)
+		}
+		for _, tenant := range serveTenants {
+			if err := auditTenant(ifs, dir, tenant, bounds[tenant], serveTicks); err != nil {
+				return rep, fmt.Errorf("chaos: iteration %d: after resume: %w", it, err)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// restoredTicks loads a tenant's durable snapshot directly off the recovered
+// filesystem and validates it against the reference boundaries, returning
+// the tick count the tenant will resume from (0 = fresh start).
+func restoredTicks(ifs *faultfs.InjectFS, dir, tenant string, bounds map[int]mdes.StreamSnapshot) (int, error) {
+	path := snapshotFile(dir, tenant)
+	data, err := ifs.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("tenant %q: read snapshot: %w", tenant, err)
+	}
+	payloads, _, _ := checkpoint.Frames(data)
+	if len(payloads) == 0 {
+		// The install path syncs file content before the rename, so an
+		// installed snapshot must never read torn — if it does, the
+		// tmp+fsync+rename+syncdir chain has a hole.
+		return 0, fmt.Errorf("tenant %q: installed snapshot is torn (%d bytes, no intact frame)", tenant, len(data))
+	}
+	var snap snapMirror
+	if err := json.Unmarshal(payloads[len(payloads)-1], &snap); err != nil {
+		return 0, fmt.Errorf("tenant %q: snapshot decode: %w", tenant, err)
+	}
+	want, ok := bounds[snap.Stream.Ticks]
+	if !ok {
+		return 0, fmt.Errorf("tenant %q: snapshot at tick %d, not a request boundary", tenant, snap.Stream.Ticks)
+	}
+	if !reflect.DeepEqual(snap.Stream, want) {
+		return 0, fmt.Errorf("tenant %q: snapshot at tick %d diverges from reference", tenant, snap.Stream.Ticks)
+	}
+	return snap.Stream.Ticks, nil
+}
+
+// auditTenant asserts a tenant's durable snapshot is exactly the reference
+// state at wantTicks.
+func auditTenant(ifs *faultfs.InjectFS, dir, tenant string, bounds map[int]mdes.StreamSnapshot, wantTicks int) error {
+	n, err := restoredTicks(ifs, dir, tenant, bounds)
+	if err != nil {
+		return err
+	}
+	if n != wantTicks {
+		return fmt.Errorf("tenant %q: final snapshot at tick %d, want %d", tenant, n, wantTicks)
+	}
+	return nil
+}
+
+// snapshotFile mirrors the serve layer's tenant → path mapping (hex-encoded
+// tenant + ".snap"); the soak reads snapshots from outside the server.
+func snapshotFile(dir, tenant string) string {
+	return fmt.Sprintf("%s/%x.snap", dir, []byte(tenant))
+}

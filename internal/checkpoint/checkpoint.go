@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
+	"mdes/internal/faultfs"
 	"mdes/internal/nmt"
 )
 
@@ -44,7 +46,7 @@ type PairRecord struct {
 
 // Journal is an open checkpoint file positioned for appending.
 type Journal struct {
-	f       *os.File
+	f       faultfs.File
 	path    string
 	records []PairRecord
 	torn    bool
@@ -54,13 +56,23 @@ type Journal struct {
 // but does not decode — not a torn tail, so it is never silently dropped.
 var ErrCorrupt = errors.New("checkpoint: corrupt record")
 
-// Open opens (creating if necessary) a journal, replays its intact records,
-// and truncates away a torn final record if the previous run died mid-append.
-// The returned journal is positioned to append.
-func Open(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// Open opens (creating if necessary) a journal on the real filesystem. See
+// OpenFS.
+func Open(path string) (*Journal, error) { return OpenFS(faultfs.OS, path) }
+
+// OpenFS opens (creating if necessary) a journal on fsys, replays its intact
+// records, and truncates away a torn final record if the previous run died
+// mid-append. The parent directory is fsynced so a freshly created journal's
+// directory entry itself survives power loss — a file fsync alone does not
+// persist the entry. The returned journal is positioned to append.
+func OpenFS(fsys faultfs.FS, path string) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: open %s: %w", path, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		_ = f.Close() // the durability error is the one reported
+		return nil, fmt.Errorf("checkpoint: sync dir of %s: %w", path, err)
 	}
 	j := &Journal{f: f, path: path}
 	if err := j.replay(); err != nil {

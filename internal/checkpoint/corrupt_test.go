@@ -1,0 +1,182 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// sweepRecords is a small journal worth of records with distinguishable
+// identities, so a replay can be position-checked.
+func sweepRecords() []PairRecord {
+	recs := make([]PairRecord, 5)
+	for i := range recs {
+		recs[i] = PairRecord{
+			Src:     fmt.Sprintf("src%d", i),
+			Tgt:     fmt.Sprintf("tgt%d", i),
+			BLEU:    float64(i) * 11.25,
+			Runtime: time.Duration(i+1) * time.Second,
+		}
+	}
+	return recs
+}
+
+// writeSweepJournal builds a journal of recs and returns its raw bytes plus
+// the byte offset where each frame starts (frameStart[i] = first byte of
+// frame i; a final entry holds the total length).
+func writeSweepJournal(t *testing.T, path string, recs []PairRecord) ([]byte, []int) {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, valid, torn := Frames(data)
+	if torn || valid != len(data) || len(payloads) != len(recs) {
+		t.Fatalf("clean journal reads back torn=%v valid=%d/%d frames=%d", torn, valid, len(data), len(payloads))
+	}
+	starts := make([]int, 0, len(recs)+1)
+	off := 0
+	for _, p := range payloads {
+		starts = append(starts, off)
+		off += frameHeaderSize + len(p)
+	}
+	starts = append(starts, off)
+	return data, starts
+}
+
+// expectPrefix opens path and asserts the journal replays exactly
+// recs[:want], never panicking and never surfacing a corrupt record, then
+// proves the recovered journal is still appendable: one more record must
+// survive a further reopen.
+func expectPrefix(t *testing.T, path string, recs []PairRecord, want int, label string) {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("%s: open: %v", label, err)
+	}
+	got := j.Records()
+	if len(got) != want {
+		_ = j.Close()
+		t.Fatalf("%s: replayed %d records, want %d", label, len(got), want)
+	}
+	for i := range got {
+		if got[i].Src != recs[i].Src || got[i].Tgt != recs[i].Tgt || got[i].BLEU != recs[i].BLEU {
+			_ = j.Close()
+			t.Fatalf("%s: record %d = %s->%s, want %s->%s", label, i, got[i].Src, got[i].Tgt, recs[i].Src, recs[i].Tgt)
+		}
+	}
+	extra := PairRecord{Src: "extra", Tgt: "extra", BLEU: 99}
+	if err := j.Append(extra); err != nil {
+		_ = j.Close()
+		t.Fatalf("%s: append after recovery: %v", label, err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("%s: close: %v", label, err)
+	}
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", label, err)
+	}
+	defer j2.Close()
+	again := j2.Records()
+	if len(again) != want+1 || again[want].Src != "extra" {
+		t.Fatalf("%s: after append reopen replays %d records (want %d ending in extra)", label, len(again), want+1)
+	}
+	if j2.Torn() {
+		t.Fatalf("%s: journal still torn after recovery truncated it", label)
+	}
+}
+
+// frameOf maps a byte offset to the frame containing it.
+func frameOf(starts []int, off int) int {
+	for i := 0; i+1 < len(starts); i++ {
+		if off >= starts[i] && off < starts[i+1] {
+			return i
+		}
+	}
+	return len(starts) - 1
+}
+
+// TestJournalTruncationSweep cuts the journal at every possible byte length:
+// recovery must replay exactly the frames that survived whole and stay
+// appendable.
+func TestJournalTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	recs := sweepRecords()
+	data, starts := writeSweepJournal(t, filepath.Join(dir, "ref.journal"), recs)
+
+	path := filepath.Join(dir, "cut.journal")
+	for cut := 0; cut <= len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Frames fully contained in the cut survive; a partial frame is torn.
+		want := 0
+		for want+1 < len(starts) && starts[want+1] <= cut {
+			want++
+		}
+		expectPrefix(t, path, recs, want, fmt.Sprintf("cut at %d", cut))
+	}
+}
+
+// TestJournalBitFlipSweep flips a single bit at every byte offset of the
+// journal: recovery must replay exactly the frames before the damaged one —
+// the flip can land in a length field, a CRC, or a payload, and none of
+// those may panic, loop, or let the damaged frame (or anything after it)
+// through.
+func TestJournalBitFlipSweep(t *testing.T) {
+	dir := t.TempDir()
+	recs := sweepRecords()
+	data, starts := writeSweepJournal(t, filepath.Join(dir, "ref.journal"), recs)
+
+	path := filepath.Join(dir, "flip.journal")
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 1 << bit
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			want := frameOf(starts, off)
+			expectPrefix(t, path, recs, want, fmt.Sprintf("flip bit %d at %d", bit, off))
+		}
+	}
+}
+
+// TestJournalIntactButUndecodableIsAnError: a frame whose length and CRC are
+// valid but whose payload is not a record must surface as ErrCorrupt — it is
+// not a torn tail, and silently dropping it would hide real corruption (or a
+// format change) behind an innocent-looking short journal.
+func TestJournalIntactButUndecodableIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	payload := []byte("this is not a pair record")
+	frame := AppendFrame(nil, payload)
+	if n := binary.LittleEndian.Uint32(frame[4:8]); n != crc32.ChecksumIEEE(payload) {
+		t.Fatal("frame CRC not intact")
+	}
+	path := filepath.Join(dir, "bad.journal")
+	if err := os.WriteFile(path, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

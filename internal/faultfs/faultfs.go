@@ -1,0 +1,131 @@
+// Package faultfs abstracts the filesystem operations behind every durable
+// artefact in the repo — the pair-training journal and the serve-layer
+// session snapshots — so that crash-safety can be *proven* against injected
+// faults instead of asserted in comments.
+//
+// Two implementations:
+//
+//   - OSFS passes straight through to the os package. It is the zero-cost
+//     default: production code pays one interface dispatch per IO call, on
+//     paths that end in an fsync anyway.
+//   - InjectFS (inject.go) is a deterministic, seed-driven in-memory
+//     filesystem that models a page cache and injects short writes, ENOSPC,
+//     failed or partial fsync, torn writes at byte granularity, rename
+//     failures, and a programmable crash point that freezes all subsequent
+//     IO to simulate power loss.
+//
+// The interface deliberately models the POSIX durability contract, not just
+// the read/write API: fsync on a file does NOT persist its directory entry,
+// so a crash can un-create a freshly created file or un-do a rename unless
+// the parent directory is fsynced too (SyncDir). internal/chaos drives
+// workloads over InjectFS and asserts bit-for-bit recovery after every
+// injected failure.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"syscall"
+)
+
+// File is the subset of *os.File the durable paths need. Write errors and —
+// critically — Sync and Close errors must be observed by callers; the
+// frameerr analyzer enforces that for this interface exactly as it does for
+// *os.File.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's content to stable storage. Until it returns
+	// nil, none of the preceding writes are guaranteed to survive a crash
+	// (though an adversarial subset may).
+	Sync() error
+	// Truncate changes the file size. Like writes, the new size is only
+	// crash-durable after a successful Sync.
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface used by the checkpoint journal and the
+// serve-layer snapshot store.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics. A file created here
+	// has a volatile directory entry until SyncDir succeeds on its parent.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temp file in dir with os.CreateTemp
+	// semantics.
+	CreateTemp(dir, pattern string) (File, error)
+	// ReadFile reads a whole file, like os.ReadFile. A missing file
+	// satisfies errors.Is(err, fs.ErrNotExist).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath. The swap of the
+	// directory entry is only crash-durable after SyncDir on the parent.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making its current entries (creations,
+	// renames, removals) crash-durable. This is the step that turns
+	// "tmp + fsync + rename" into an actually atomic durable replace.
+	SyncDir(dir string) error
+}
+
+// OSFS is the passthrough implementation backed by the real filesystem.
+type OSFS struct{}
+
+// OS is the FS used when no fault injection is configured.
+var OS FS = OSFS{}
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// SyncDir opens the directory and fsyncs it so freshly created, renamed, or
+// removed entries survive power loss. Filesystems that do not support
+// fsync on directories report fs.ErrInvalid; that is surfaced to the caller,
+// which may treat it as best-effort.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close() // the sync error is the one reported
+		// Some filesystems (and some CI sandboxes) reject fsync on a
+		// directory fd with EINVAL; the entry rename itself still happened,
+		// so treat "unsupported" as best-effort rather than data loss.
+		if isUnsupportedSync(err) {
+			return nil
+		}
+		return err
+	}
+	return d.Close()
+}
+
+// isUnsupportedSync reports whether a directory fsync failed because the
+// operation is unsupported rather than because durability was lost.
+func isUnsupportedSync(err error) bool {
+	return errors.Is(err, fs.ErrInvalid) || errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP)
+}

@@ -1,0 +1,586 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Injected fault sentinels. Callers classify failures with errors.Is; every
+// error InjectFS returns wraps exactly one of these (or fs.ErrNotExist /
+// os.ErrClosed for ordinary misuse).
+var (
+	// ErrCrashed is returned by every IO operation after the programmed
+	// crash point fires: the process is "dead" and nothing reaches disk
+	// until Recover simulates the reboot.
+	ErrCrashed = errors.New("faultfs: simulated crash")
+	// ErrNoSpace models ENOSPC on write.
+	ErrNoSpace = errors.New("faultfs: no space left on device")
+	// ErrSyncFailed models a failed fsync. Per the POSIX contract the
+	// kernel may have persisted an arbitrary subset of the dirty pages.
+	ErrSyncFailed = errors.New("faultfs: fsync failed")
+	// ErrRenameFailed models a transient rename failure; the old path is
+	// left intact.
+	ErrRenameFailed = errors.New("faultfs: rename failed")
+)
+
+// Faults sets the per-operation probability of each standing fault class.
+// Zero values disable a class. Faults are drawn from the seeded RNG, so a
+// given (seed, workload) pair always injects the same faults at the same
+// operations.
+type Faults struct {
+	// ShortWrite makes Write persist a strict prefix and return
+	// io.ErrShortWrite.
+	ShortWrite float64
+	// WriteENOSPC makes Write persist nothing and return ErrNoSpace.
+	WriteENOSPC float64
+	// SyncFail makes Sync return ErrSyncFailed after durably persisting
+	// only an adversarial subset of the unsynced bytes.
+	SyncFail float64
+	// RenameFail makes Rename return ErrRenameFailed without moving
+	// anything.
+	RenameFail float64
+}
+
+// Stats counts operations and injected faults, for soak-harness reporting
+// and for sizing CrashAfter sweeps.
+type Stats struct {
+	Ops         int64 // IO operations counted toward the crash point
+	ShortWrites int64
+	ENOSPCs     int64
+	SyncFails   int64
+	RenameFails int64
+	TornWrites  int64 // writes torn mid-buffer by the crash point
+	FrozenOps   int64 // operations rejected after the crash
+}
+
+// memFile is one inode: cache is what the process sees (page cache),
+// durable is what survives power loss (platters). They converge on a
+// successful Sync; a crash replaces cache with an adversarial merge.
+type memFile struct {
+	cache   []byte
+	durable []byte
+}
+
+// InjectFS is a deterministic in-memory FS with seed-driven fault
+// injection. It models the two-level POSIX durability contract: file bytes
+// become crash-durable only on Sync, and directory entries (creations,
+// renames, removals) only on SyncDir of the parent. All methods are safe
+// for concurrent use; the single mutex also makes the RNG draw order — and
+// therefore every injected fault — a deterministic function of the
+// operation order.
+type InjectFS struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	faults Faults
+	stats  Stats
+
+	// entries is the live directory tree (flat namespace keyed by cleaned
+	// path); durableEntries is the tree as it exists on stable storage.
+	entries        map[string]*memFile
+	durableEntries map[string]*memFile
+
+	crashAt int64 // ops count at/after which the next op crashes; 0 = armed off
+	crashed bool
+	tmpSeq  int // deterministic CreateTemp naming
+}
+
+// NewInject returns an empty InjectFS whose fault draws and crash-tearing
+// are fully determined by seed.
+func NewInject(seed int64, faults Faults) *InjectFS {
+	return &InjectFS{
+		rng:            rand.New(rand.NewSource(seed)),
+		faults:         faults,
+		entries:        make(map[string]*memFile),
+		durableEntries: make(map[string]*memFile),
+	}
+}
+
+// SetFaults replaces the standing fault probabilities (e.g. to disable
+// faults for a recovery pass that must succeed).
+func (f *InjectFS) SetFaults(faults Faults) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = faults
+}
+
+// Stats returns a snapshot of the operation and fault counters.
+func (f *InjectFS) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Ops returns the IO operation count, the unit CrashAfter is measured in.
+func (f *InjectFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats.Ops
+}
+
+// CrashAfter arms the crash point: the n-th IO operation from now (n ≥ 1)
+// dies mid-flight — a write persists a random prefix into the cache, a sync
+// persists an adversarial subset — and every operation after it returns
+// ErrCrashed until Recover.
+func (f *InjectFS) CrashAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = f.stats.Ops + n
+}
+
+// Crash freezes all IO immediately, with no torn final operation — the
+// clean "kill -9 between syscalls" case.
+func (f *InjectFS) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed = true
+	f.crashAt = 0
+}
+
+// Crashed reports whether the crash point has fired (or Crash was called).
+func (f *InjectFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Recover simulates the reboot after a crash: for every inode the surviving
+// content is an adversarial merge of its durable bytes and an arbitrary
+// subset of its unsynced ones, and every directory entry whose live and
+// durable bindings diverge (an un-SyncDir'd create, rename, or remove)
+// survives or vanishes at the RNG's whim. Afterwards IO works again and the
+// post-crash state is fully durable. Recover is a no-op on a live FS except
+// for re-disarming CrashAfter.
+func (f *InjectFS) Recover() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		next := make(map[string]*memFile, len(f.durableEntries))
+		for path, mf := range f.durableEntries {
+			next[path] = mf
+		}
+		for path, live := range f.entries {
+			durable, ok := f.durableEntries[path]
+			switch {
+			case ok && durable == live:
+				// binding already durable
+			case f.rng.Intn(2) == 0:
+				next[path] = live // the dirty dir page made it out
+			case !ok:
+				delete(next, path) // entry was never durable; lost
+			}
+		}
+		for path := range f.durableEntries {
+			if _, live := f.entries[path]; !live && f.rng.Intn(2) == 0 {
+				// un-synced Remove/Rename-away persisted anyway
+				delete(next, path)
+			}
+		}
+		seen := make(map[*memFile]bool)
+		for _, mf := range next {
+			if seen[mf] {
+				continue
+			}
+			seen[mf] = true
+			mf.durable = tornMerge(f.rng, mf.durable, mf.cache)
+			mf.cache = append([]byte(nil), mf.durable...)
+		}
+		f.entries = next
+		f.durableEntries = make(map[string]*memFile, len(next))
+		for path, mf := range next {
+			f.durableEntries[path] = mf
+		}
+	}
+	f.crashed = false
+	f.crashAt = 0
+}
+
+// tornMerge returns what a crashed disk might hold for a file whose durable
+// image is old and whose page cache held new: length anywhere between the
+// two, each byte beyond the common durable prefix independently old, new,
+// or (past both) zero. This is deliberately nastier than real filesystems —
+// anything that survives it survives ext4.
+func tornMerge(rng *rand.Rand, old, new []byte) []byte {
+	lo, hi := len(old), len(new)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	n := lo + rng.Intn(hi-lo+1)
+	out := make([]byte, n)
+	for i := range out {
+		fromOld := i < len(old) && (i >= len(new) || rng.Intn(2) == 0)
+		switch {
+		case fromOld:
+			out[i] = old[i]
+		case i < len(new):
+			out[i] = new[i]
+		default:
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// opLocked counts one IO operation. It returns crashNow=true exactly once —
+// for the operation the armed crash point lands on, which must apply its
+// adversarial partial effect and then return ErrCrashed — and a non-nil
+// error for every operation after that.
+func (f *InjectFS) opLocked() (crashNow bool, err error) {
+	if f.crashed {
+		f.stats.FrozenOps++
+		return false, ErrCrashed
+	}
+	f.stats.Ops++
+	if f.crashAt > 0 && f.stats.Ops >= f.crashAt {
+		f.crashed = true
+		return true, nil
+	}
+	return false, nil
+}
+
+// simpleOpLocked is opLocked for operations with no meaningful partial
+// effect: landing the crash on them just freezes the FS.
+func (f *InjectFS) simpleOpLocked() error {
+	crashNow, err := f.opLocked()
+	if err != nil {
+		return err
+	}
+	if crashNow {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func notExist(op, path string) error {
+	return &fs.PathError{Op: op, Path: path, Err: fs.ErrNotExist}
+}
+
+// OpenFile implements FS. Supported flags: O_RDONLY/O_RDWR plus O_CREATE,
+// O_TRUNC, O_APPEND — the subset the journal and snapshot paths use.
+func (f *InjectFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.simpleOpLocked(); err != nil {
+		return nil, err
+	}
+	name = filepath.Clean(name)
+	mf, ok := f.entries[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, notExist("open", name)
+		}
+		mf = &memFile{}
+		f.entries[name] = mf
+	}
+	if flag&os.O_TRUNC != 0 {
+		mf.cache = nil
+	}
+	h := &injectFile{fs: f, mf: mf, name: name}
+	if flag&os.O_APPEND != 0 {
+		h.pos = int64(len(mf.cache))
+	}
+	return h, nil
+}
+
+// CreateTemp implements FS with deterministic names: the "*" in pattern is
+// replaced by a sequence number, so the op stream — and therefore the crash
+// sweep — is identical run to run.
+func (f *InjectFS) CreateTemp(dir, pattern string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.simpleOpLocked(); err != nil {
+		return nil, err
+	}
+	f.tmpSeq++
+	uniq := fmt.Sprintf("inj%06d", f.tmpSeq)
+	base := pattern
+	if strings.Contains(pattern, "*") {
+		base = strings.Replace(pattern, "*", uniq, 1)
+	} else {
+		base = pattern + uniq
+	}
+	name := filepath.Clean(filepath.Join(dir, base))
+	if _, exists := f.entries[name]; exists {
+		return nil, &fs.PathError{Op: "createtemp", Path: name, Err: fs.ErrExist}
+	}
+	mf := &memFile{}
+	f.entries[name] = mf
+	return &injectFile{fs: f, mf: mf, name: name}, nil
+}
+
+// ReadFile implements FS.
+func (f *InjectFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.simpleOpLocked(); err != nil {
+		return nil, err
+	}
+	name = filepath.Clean(name)
+	mf, ok := f.entries[name]
+	if !ok {
+		return nil, notExist("open", name)
+	}
+	return append([]byte(nil), mf.cache...), nil
+}
+
+// Rename implements FS. The swap is atomic in the live tree; whether it
+// survives a crash before SyncDir is the RNG's call in Recover.
+func (f *InjectFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashNow, err := f.opLocked()
+	if err != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	mf, ok := f.entries[oldpath]
+	if !ok {
+		if crashNow {
+			return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: ErrCrashed}
+		}
+		return notExist("rename", oldpath)
+	}
+	if crashNow {
+		// The syscall may or may not have reached the dir page before the
+		// power died; either way the caller sees only the crash.
+		if f.rng.Intn(2) == 0 {
+			delete(f.entries, oldpath)
+			f.entries[newpath] = mf
+		}
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: ErrCrashed}
+	}
+	if f.faults.RenameFail > 0 && f.rng.Float64() < f.faults.RenameFail {
+		f.stats.RenameFails++
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: ErrRenameFailed}
+	}
+	delete(f.entries, oldpath)
+	f.entries[newpath] = mf
+	return nil
+}
+
+// Remove implements FS.
+func (f *InjectFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.simpleOpLocked(); err != nil {
+		return &fs.PathError{Op: "remove", Path: name, Err: err}
+	}
+	name = filepath.Clean(name)
+	if _, ok := f.entries[name]; !ok {
+		return notExist("remove", name)
+	}
+	delete(f.entries, name)
+	return nil
+}
+
+// SyncDir implements FS: it makes the live directory entries under dir
+// crash-durable. A SyncFail fault leaves an arbitrary subset durable, like
+// a real dir fsync that errors after writing some pages.
+func (f *InjectFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashNow, err := f.opLocked()
+	if err != nil {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: err}
+	}
+	fail := crashNow || (f.faults.SyncFail > 0 && f.rng.Float64() < f.faults.SyncFail)
+	partial := fail && f.rng.Intn(2) == 0
+	dir = filepath.Clean(dir)
+	inDir := func(path string) bool { return filepath.Dir(path) == dir }
+	for path, mf := range f.entries {
+		if !inDir(path) {
+			continue
+		}
+		if fail && !(partial && f.rng.Intn(2) == 0) {
+			continue
+		}
+		f.durableEntries[path] = mf
+	}
+	for path := range f.durableEntries {
+		if !inDir(path) {
+			continue
+		}
+		if _, live := f.entries[path]; live {
+			continue
+		}
+		if fail && !(partial && f.rng.Intn(2) == 0) {
+			continue
+		}
+		delete(f.durableEntries, path)
+	}
+	if crashNow {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: ErrCrashed}
+	}
+	if fail {
+		f.stats.SyncFails++
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: ErrSyncFailed}
+	}
+	return nil
+}
+
+// injectFile is a handle onto a memFile. Position is per-handle, content is
+// shared — matching *os.File.
+type injectFile struct {
+	fs     *InjectFS
+	mf     *memFile
+	name   string
+	pos    int64
+	closed bool
+}
+
+func (h *injectFile) Name() string { return h.name }
+
+func (h *injectFile) pathErr(op string, err error) error {
+	return &fs.PathError{Op: op, Path: h.name, Err: err}
+}
+
+func (h *injectFile) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, h.pathErr("read", os.ErrClosed)
+	}
+	if err := h.fs.simpleOpLocked(); err != nil {
+		return 0, h.pathErr("read", err)
+	}
+	if h.pos >= int64(len(h.mf.cache)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.mf.cache[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+// write copies p[:n] into the cache at the handle position, zero-filling
+// any gap left by a Seek past EOF.
+func (h *injectFile) write(p []byte, n int) {
+	end := h.pos + int64(n)
+	for int64(len(h.mf.cache)) < end {
+		h.mf.cache = append(h.mf.cache, 0)
+	}
+	copy(h.mf.cache[h.pos:end], p[:n])
+	h.pos = end
+}
+
+func (h *injectFile) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, h.pathErr("write", os.ErrClosed)
+	}
+	crashNow, err := h.fs.opLocked()
+	if err != nil {
+		return 0, h.pathErr("write", err)
+	}
+	if crashNow {
+		// Torn write: a random prefix made it into the page cache before
+		// the power died. Byte granularity — no sector-alignment mercy.
+		n := 0
+		if len(p) > 0 {
+			n = h.fs.rng.Intn(len(p))
+		}
+		h.write(p, n)
+		h.fs.stats.TornWrites++
+		return n, h.pathErr("write", ErrCrashed)
+	}
+	if h.fs.faults.WriteENOSPC > 0 && h.fs.rng.Float64() < h.fs.faults.WriteENOSPC {
+		h.fs.stats.ENOSPCs++
+		return 0, h.pathErr("write", ErrNoSpace)
+	}
+	if len(p) > 1 && h.fs.faults.ShortWrite > 0 && h.fs.rng.Float64() < h.fs.faults.ShortWrite {
+		n := 1 + h.fs.rng.Intn(len(p)-1)
+		h.write(p, n)
+		h.fs.stats.ShortWrites++
+		return n, h.pathErr("write", io.ErrShortWrite)
+	}
+	h.write(p, len(p))
+	return len(p), nil
+}
+
+func (h *injectFile) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return h.pathErr("sync", os.ErrClosed)
+	}
+	crashNow, err := h.fs.opLocked()
+	if err != nil {
+		return h.pathErr("sync", err)
+	}
+	if crashNow || (h.fs.faults.SyncFail > 0 && h.fs.rng.Float64() < h.fs.faults.SyncFail) {
+		// A failed fsync persists an arbitrary subset of the dirty pages.
+		h.mf.durable = tornMerge(h.fs.rng, h.mf.durable, h.mf.cache)
+		if crashNow {
+			return h.pathErr("sync", ErrCrashed)
+		}
+		h.fs.stats.SyncFails++
+		return h.pathErr("sync", ErrSyncFailed)
+	}
+	h.mf.durable = append([]byte(nil), h.mf.cache...)
+	return nil
+}
+
+func (h *injectFile) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return h.pathErr("close", os.ErrClosed)
+	}
+	h.closed = true
+	if err := h.fs.simpleOpLocked(); err != nil {
+		return h.pathErr("close", err)
+	}
+	return nil
+}
+
+func (h *injectFile) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return h.pathErr("truncate", os.ErrClosed)
+	}
+	if err := h.fs.simpleOpLocked(); err != nil {
+		return h.pathErr("truncate", err)
+	}
+	if size < 0 {
+		return h.pathErr("truncate", fs.ErrInvalid)
+	}
+	for int64(len(h.mf.cache)) < size {
+		h.mf.cache = append(h.mf.cache, 0)
+	}
+	h.mf.cache = h.mf.cache[:size]
+	return nil
+}
+
+// Seek repositions the handle. It touches no disk state, so it is not
+// counted as an IO operation and works even after a crash.
+func (h *injectFile) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, h.pathErr("seek", os.ErrClosed)
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = h.pos
+	case io.SeekEnd:
+		base = int64(len(h.mf.cache))
+	default:
+		return 0, h.pathErr("seek", fs.ErrInvalid)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, h.pathErr("seek", fs.ErrInvalid)
+	}
+	h.pos = pos
+	return pos, nil
+}

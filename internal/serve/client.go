@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -23,6 +24,58 @@ type Client struct {
 	Model string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry configures PushTicksRetry's backoff. The zero value uses the
+	// defaults documented on RetryPolicy.
+	Retry RetryPolicy
+}
+
+// RetryPolicy shapes PushTicksRetry's backoff on 429 responses: jittered
+// exponential delays, never shorter than the server's Retry-After hint,
+// with a hard attempt cap.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// <= 0 selects 4.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff. <= 0 selects 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. <= 0 selects 5s.
+	MaxDelay time.Duration
+	// Jitter returns a draw in [0, 1); the wait for an attempt with backoff
+	// d is d/2 + jitter·d/2, so concurrent clients de-synchronise instead
+	// of stampeding on the same schedule. Nil selects math/rand.
+	Jitter func() float64
+	// Sleep waits out one backoff; nil selects a timer that honors ctx
+	// cancellation. Tests inject a recorder here so retry schedules are
+	// asserted without real sleeping.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Jitter == nil {
+		p.Jitter = rand.Float64
+	}
+	if p.Sleep == nil {
+		p.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return p
 }
 
 // BusyError reports a 429 backpressure response and the server's retry hint.
@@ -104,6 +157,42 @@ func (c *Client) PushTicks(ctx context.Context, tenant string, ticks []map[strin
 		return points, err
 	}
 	return points, nil
+}
+
+// PushTicksRetry is PushTicks with backpressure handling: on 429 it backs
+// off — jittered exponential, but never shorter than the server's
+// Retry-After hint — and resends the same batch (the server consumed none of
+// it). Any other error, including a partial-batch NDJSON trailer, returns
+// immediately: those ticks were partially consumed and a blind resend would
+// misalign the stream. When the attempt cap is exhausted the last *BusyError
+// is returned, so callers can still distinguish "busy" from "broken".
+func (c *Client) PushTicksRetry(ctx context.Context, tenant string, ticks []map[string]string) ([]WirePoint, error) {
+	pol := c.Retry.withDefaults()
+	delay := pol.BaseDelay
+	var lastBusy *BusyError
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		points, err := c.PushTicks(ctx, tenant, ticks)
+		var busy *BusyError
+		if !errors.As(err, &busy) {
+			return points, err
+		}
+		lastBusy = busy
+		if attempt == pol.MaxAttempts-1 {
+			break
+		}
+		wait := delay/2 + time.Duration(pol.Jitter()*float64(delay/2))
+		if busy.RetryAfter > wait {
+			wait = busy.RetryAfter
+		}
+		if err := pol.Sleep(ctx, wait); err != nil {
+			return nil, err
+		}
+		delay *= 2
+		if delay > pol.MaxDelay {
+			delay = pol.MaxDelay
+		}
+	}
+	return nil, lastBusy
 }
 
 // Session fetches a tenant's session info (live or snapshotted).

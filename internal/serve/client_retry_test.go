@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// busyThenOK answers n requests with 429 (optionally carrying a Retry-After
+// hint) and everything after with an empty 200.
+func busyThenOK(n int, retryAfter string, hits *atomic.Int32) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if int(hits.Add(1)) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+// sleepRecorder captures every backoff wait instead of sleeping.
+func sleepRecorder(waits *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*waits = append(*waits, d)
+		return nil
+	}
+}
+
+// TestPushTicksRetryHonorsRetryAfter: when the server's hint exceeds the
+// jittered backoff, the hint wins — the client must not hammer a server that
+// asked for 2 seconds just because its own schedule said 150ms.
+func TestPushTicksRetryHonorsRetryAfter(t *testing.T) {
+	var hits atomic.Int32
+	hs := httptest.NewServer(busyThenOK(2, "2", &hits))
+	defer hs.Close()
+
+	var waits []time.Duration
+	c := &Client{BaseURL: hs.URL, Retry: RetryPolicy{
+		BaseDelay: 100 * time.Millisecond,
+		Jitter:    func() float64 { return 1 }, // wait = full delay, deterministic
+		Sleep:     sleepRecorder(&waits),
+	}}
+	if _, err := c.PushTicksRetry(context.Background(), "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("made %d requests, want 3", hits.Load())
+	}
+	// Both backoffs (100ms, then 200ms) are below the 2s hint.
+	if len(waits) != 2 || waits[0] != 2*time.Second || waits[1] != 2*time.Second {
+		t.Fatalf("waits = %v, want [2s 2s]", waits)
+	}
+}
+
+// TestPushTicksRetryExponentialBackoff: with no usable hint the jittered
+// exponential schedule applies, doubling up to the cap.
+func TestPushTicksRetryExponentialBackoff(t *testing.T) {
+	var hits atomic.Int32
+	hs := httptest.NewServer(busyThenOK(1000, "", &hits)) // always busy
+	defer hs.Close()
+
+	var waits []time.Duration
+	c := &Client{BaseURL: hs.URL, Retry: RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   4 * time.Second,
+		MaxDelay:    10 * time.Second,
+		Jitter:      func() float64 { return 1 },
+		Sleep:       sleepRecorder(&waits),
+	}}
+	_, err := c.PushTicksRetry(context.Background(), "t", nil)
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("err = %v, want *BusyError after exhaustion", err)
+	}
+	if hits.Load() != 5 {
+		t.Fatalf("made %d requests, want 5", hits.Load())
+	}
+	// A missing Retry-After parses as the 1s default hint, below every
+	// backoff here: 4s, 8s, then capped at 10s.
+	want := []time.Duration{4 * time.Second, 8 * time.Second, 10 * time.Second, 10 * time.Second}
+	if len(waits) != len(want) {
+		t.Fatalf("waits = %v, want %v", waits, want)
+	}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Fatalf("wait %d = %v, want %v", i, waits[i], want[i])
+		}
+	}
+}
+
+// TestPushTicksRetryJitterSpreadsSchedule: jitter must actually move the
+// wait inside [d/2, d) — a fleet of clients retrying in lockstep is the
+// thundering herd backoff exists to prevent.
+func TestPushTicksRetryJitterSpreadsSchedule(t *testing.T) {
+	var hits atomic.Int32
+	hs := httptest.NewServer(busyThenOK(1, "", &hits))
+	defer hs.Close()
+
+	var waits []time.Duration
+	c := &Client{BaseURL: hs.URL, Retry: RetryPolicy{
+		BaseDelay: 4 * time.Second,
+		Jitter:    func() float64 { return 0.5 },
+		Sleep:     sleepRecorder(&waits),
+	}}
+	if _, err := c.PushTicksRetry(context.Background(), "t", nil); err != nil {
+		t.Fatal(err)
+	}
+	// d/2 + 0.5·d/2 = 3s for d = 4s.
+	if len(waits) != 1 || waits[0] != 3*time.Second {
+		t.Fatalf("waits = %v, want [3s]", waits)
+	}
+}
+
+// TestPushTicksRetryNonBusyErrorsPassThrough: anything that is not
+// backpressure — here a 404 — returns immediately with no retries; resending
+// a partially consumed batch would misalign the stream.
+func TestPushTicksRetryNonBusyErrorsPassThrough(t *testing.T) {
+	var hits atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "no such model", http.StatusNotFound)
+	}))
+	defer hs.Close()
+
+	c := &Client{BaseURL: hs.URL, Retry: RetryPolicy{
+		Sleep: func(context.Context, time.Duration) error {
+			t.Fatal("slept on a non-busy error")
+			return nil
+		},
+	}}
+	if _, err := c.PushTicksRetry(context.Background(), "t", nil); err == nil {
+		t.Fatal("want error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("made %d requests, want 1 (no retries)", hits.Load())
+	}
+}
+
+// TestPushTicksRetryContextCancelledDuringBackoff: the default Sleep honors
+// ctx, so a cancellation during the wait surfaces instead of blocking out
+// the full backoff.
+func TestPushTicksRetryContextCancelledDuringBackoff(t *testing.T) {
+	var hits atomic.Int32
+	hs := httptest.NewServer(busyThenOK(1000, "", &hits))
+	defer hs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{BaseURL: hs.URL, Retry: RetryPolicy{
+		BaseDelay: time.Hour, // without cancellation this would hang the test
+		Jitter:    func() float64 { return 0 },
+	}}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.PushTicksRetry(ctx, "t", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+}

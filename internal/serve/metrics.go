@@ -21,6 +21,14 @@ type metrics struct {
 	snapshotWrites   atomic.Int64
 	snapshotErrors   atomic.Int64
 
+	// Degraded-mode and fault-class counters: every injected or observed
+	// fault is visible at /metrics, so the chaos harness (and operators) can
+	// see exactly which failure path fired.
+	degradedTicks      atomic.Int64 // ticks answered with the last valid score
+	deadlineMisses     atomic.Int64 // windows that blew the scoring deadline
+	missingModelTicks  atomic.Int64 // windows degraded by an absent pair model
+	snapshotLoadErrors atomic.Int64 // snapshot reads/decodes that failed
+
 	scoreLatency histogram
 }
 
@@ -99,6 +107,10 @@ func (m *metrics) write(w io.Writer, sessionsLive, inflight, queueDepth int) {
 	counter(w, "mdes_serve_sessions_evicted_total", "Sessions evicted by TTL or LRU pressure.", m.sessionsEvicted.Load())
 	counter(w, "mdes_serve_snapshot_writes_total", "Session snapshots written to disk.", m.snapshotWrites.Load())
 	counter(w, "mdes_serve_snapshot_errors_total", "Session snapshot writes that failed.", m.snapshotErrors.Load())
+	counter(w, "mdes_serve_snapshot_load_errors_total", "Session snapshot reads that failed (corrupt or unreadable).", m.snapshotLoadErrors.Load())
+	counter(w, "mdes_serve_degraded_ticks_total", "Ticks answered with the last valid score and degraded=true.", m.degradedTicks.Load())
+	counter(w, "mdes_serve_score_deadline_misses_total", "Sentence windows that missed the scoring deadline.", m.deadlineMisses.Load())
+	counter(w, "mdes_serve_missing_model_ticks_total", "Sentence windows degraded because a pair model was missing.", m.missingModelTicks.Load())
 	gauge(w, "mdes_serve_sessions_live", "Sessions currently resident in memory.", float64(sessionsLive))
 	gauge(w, "mdes_serve_inflight_requests", "Tick requests currently admitted.", float64(inflight))
 	gauge(w, "mdes_serve_score_queue_depth", "Pairwise scoring jobs waiting for a pool worker.", float64(queueDepth))

@@ -53,6 +53,10 @@ func TestMetricsWriteIncludesEveryFamily(t *testing.T) {
 		"mdes_serve_inflight_requests 1",
 		"mdes_serve_score_queue_depth 3",
 		"mdes_serve_score_latency_seconds_count 0",
+		"mdes_serve_snapshot_load_errors_total 0",
+		"mdes_serve_degraded_ticks_total 0",
+		"mdes_serve_score_deadline_misses_total 0",
+		"mdes_serve_missing_model_ticks_total 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)

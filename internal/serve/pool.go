@@ -1,11 +1,18 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"mdes"
 )
+
+// ErrScoreDeadline reports that a sentence window could not be scored within
+// the configured per-tick deadline. The stream wraps it; handlers match it
+// with errors.Is to answer the tick degraded instead of stalling the NDJSON
+// stream.
+var ErrScoreDeadline = errors.New("serve: scoring deadline exceeded")
 
 // scorePool fans pairwise relationship scoring out across the sessions
 // currently processing a tick. Each completed sentence window produces one
@@ -62,6 +69,46 @@ func (p *scorePool) score(jobs []mdes.ScoreJob, row []float64) error {
 	}
 	done.Wait()
 	return nil
+}
+
+// scoreWithin is score with a deadline: if the batch is not fully scored
+// within d it returns ErrScoreDeadline and the caller's scratch is left
+// untouched. The jobs and row the stream hands a scorer are reused on the
+// next emit, so the deadline path works on heap copies: abandoned workers
+// finish into the shadow batch and their results are discarded, never
+// racing the stream's next window.
+func (p *scorePool) scoreWithin(jobs []mdes.ScoreJob, row []float64, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	jcopy := make([]mdes.ScoreJob, len(jobs))
+	copy(jcopy, jobs)
+	shadow := make([]float64, len(row))
+	var done sync.WaitGroup
+	done.Add(len(jcopy))
+	for i := range jcopy {
+		select {
+		case p.jobs <- scoreTask{job: &jcopy[i], row: shadow, done: &done}:
+		case <-timer.C:
+			// Unsubmitted tasks will never run; settle their barrier entries
+			// so the drain goroutine below terminates.
+			for ; i < len(jcopy); i++ {
+				done.Done()
+			}
+			return ErrScoreDeadline
+		}
+	}
+	finished := make(chan struct{})
+	go func() {
+		done.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		copy(row, shadow)
+		return nil
+	case <-timer.C:
+		return ErrScoreDeadline
+	}
 }
 
 // depth reports how many jobs are queued but not yet picked up.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mdes"
+	"mdes/internal/faultfs"
 )
 
 // Options configures a Server.
@@ -42,6 +43,16 @@ type Options struct {
 	ScoreWorkers int
 	// RetryAfter is the hint returned with 429 responses. 0 selects 1s.
 	RetryAfter time.Duration
+	// ScoreDeadline enables degraded-mode serving: a completed sentence
+	// window that cannot be scored within this duration — or that hits a
+	// missing pair model — is answered with the session's last valid score
+	// and degraded=true instead of stalling or failing the NDJSON stream.
+	// 0 keeps strict mode: scoring blocks as long as it takes, and a
+	// missing model fails the request.
+	ScoreDeadline time.Duration
+	// FS overrides the filesystem snapshots live on; the fault-injection
+	// harness passes a faultfs.InjectFS. Nil selects the real filesystem.
+	FS faultfs.FS
 }
 
 // maxTickLine bounds one NDJSON tick line; a tick is one small JSON object
@@ -57,6 +68,11 @@ type Server struct {
 	pool *scorePool
 	reg  *registry
 	met  metrics
+	fs   faultfs.FS
+
+	// scorer is installed on every session stream. With a ScoreDeadline it
+	// bounds each batch; tests may swap it before the first session exists.
+	scorer func(jobs []mdes.ScoreJob, row []float64) error
 
 	slots    chan struct{} // admission tokens for tick requests
 	draining atomic.Bool
@@ -93,17 +109,28 @@ func New(opts Options) (*Server, error) {
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = time.Second
 	}
+	if opts.FS == nil {
+		opts.FS = faultfs.OS
+	}
 
 	s := &Server{
 		opts:        opts,
 		mux:         http.NewServeMux(),
 		reg:         newRegistry(),
+		fs:          opts.FS,
 		slots:       make(chan struct{}, opts.MaxInflight),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
 	s.met.scoreLatency = newHistogram(scoreBuckets)
 	s.pool = newScorePool(opts.ScoreWorkers, &s.met.scoreLatency)
+	if d := opts.ScoreDeadline; d > 0 {
+		s.scorer = func(jobs []mdes.ScoreJob, row []float64) error {
+			return s.pool.scoreWithin(jobs, row, d)
+		}
+	} else {
+		s.scorer = s.pool.score
+	}
 
 	s.mux.HandleFunc("POST /v1/streams/{tenant}/ticks", s.handleTicks)
 	s.mux.HandleFunc("GET /v1/streams/{tenant}", s.handleSession)
@@ -163,7 +190,7 @@ func (s *Server) persistLocked(v *session) {
 		return
 	}
 	snap := sessionSnapshot{Tenant: v.tenant, Model: v.model, Stream: v.stream.Snapshot()}
-	if err := saveSnapshot(s.opts.SnapshotDir, v.tenant, snap); err != nil {
+	if err := saveSnapshot(s.fs, s.opts.SnapshotDir, v.tenant, snap); err != nil {
 		s.met.snapshotErrors.Add(1)
 		return
 	}
@@ -220,9 +247,10 @@ func (s *Server) createSession(tenant, wantModel string) (*session, int, error) 
 	restored := false
 	if s.opts.SnapshotDir != "" {
 		//mdes:allow(lockcall) creation must be atomic: the registry lock is what stops two requests racing to restore the same tenant; this path never runs per-tick
-		snap, ok, err := loadSnapshot(s.opts.SnapshotDir, tenant)
+		snap, ok, err := loadSnapshot(s.fs, s.opts.SnapshotDir, tenant)
 		if err != nil {
 			s.reg.mu.Unlock()
+			s.met.snapshotLoadErrors.Add(1)
 			return nil, http.StatusInternalServerError, err
 		}
 		if ok {
@@ -257,7 +285,7 @@ func (s *Server) createSession(tenant, wantModel string) (*session, int, error) 
 		}
 		stream = model.NewStream()
 	}
-	stream.SetScorer(s.pool.score)
+	stream.SetScorer(s.scorer)
 	sess := &session{tenant: tenant, model: modelName, stream: stream, lastUsed: time.Now()}
 	s.reg.sessions[tenant] = sess
 
@@ -360,6 +388,25 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		}
 		p, err := sess.stream.Push(tick)
 		if err != nil {
+			// Degraded mode: a scoring deadline miss or missing pair model
+			// answers the tick with the last valid score instead of stalling
+			// or failing the stream. The tick itself was consumed (Push
+			// validated it before scoring), so the skipped point index is
+			// claimed to keep snapshots restorable.
+			if s.opts.ScoreDeadline > 0 && s.classifyDegraded(err) {
+				s.met.ticksIngested.Add(1)
+				s.met.degradedTicks.Add(1)
+				sess.dirty = true
+				wp := WirePoint{T: sess.stream.SkipEmit(), Score: sess.lastScore, Degraded: true}
+				if err := enc.Encode(wp); err != nil {
+					return // client went away
+				}
+				wrote = true
+				if err := rc.Flush(); err != nil {
+					return // client went away
+				}
+				continue
+			}
 			s.met.tickErrors.Add(1)
 			fail(http.StatusBadRequest, err.Error())
 			return
@@ -367,6 +414,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		s.met.ticksIngested.Add(1)
 		sess.dirty = true
 		if p != nil {
+			sess.lastScore = p.Score
 			if err := enc.Encode(PointWire(*p)); err != nil {
 				return // client went away
 			}
@@ -382,6 +430,20 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// classifyDegraded reports whether a Push error is one of the degradable
+// fault classes, bumping the matching fault counter.
+func (s *Server) classifyDegraded(err error) bool {
+	switch {
+	case errors.Is(err, ErrScoreDeadline):
+		s.met.deadlineMisses.Add(1)
+		return true
+	case errors.Is(err, mdes.ErrNoPairModel):
+		s.met.missingModelTicks.Add(1)
+		return true
+	}
+	return false
+}
+
 // handleSession is GET /v1/streams/{tenant}: the live session's counters, or
 // the snapshotted ones for a tenant currently evicted to disk.
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
@@ -394,8 +456,9 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.opts.SnapshotDir != "" {
-		snap, ok, err := loadSnapshot(s.opts.SnapshotDir, tenant)
+		snap, ok, err := loadSnapshot(s.fs, s.opts.SnapshotDir, tenant)
 		if err != nil {
+			s.met.snapshotLoadErrors.Add(1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -428,7 +491,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.reg.remove(sess)
 	}
 	if s.opts.SnapshotDir != "" {
-		if err := deleteSnapshot(s.opts.SnapshotDir, tenant); err != nil {
+		if err := deleteSnapshot(s.fs, s.opts.SnapshotDir, tenant); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -506,7 +569,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if s.opts.SnapshotDir != "" && sess.dirty {
 			snap := sessionSnapshot{Tenant: sess.tenant, Model: sess.model, Stream: sess.stream.Snapshot()}
 			//mdes:allow(lockcall) drain-time only: the server has stopped accepting ticks, and the session lock guarantees the snapshot is the final state
-			if err := saveSnapshot(s.opts.SnapshotDir, sess.tenant, snap); err != nil {
+			if err := saveSnapshot(s.fs, s.opts.SnapshotDir, sess.tenant, snap); err != nil {
 				s.met.snapshotErrors.Add(1)
 				if firstErr == nil {
 					firstErr = err

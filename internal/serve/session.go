@@ -19,6 +19,9 @@ type session struct {
 	mu    sync.Mutex
 	gone  bool // set under mu when evicted or deleted; lock holders must retry
 	dirty bool // ticks consumed since the last snapshot (under mu)
+	// lastScore is the most recent successfully scored point, repeated as
+	// the answer for degraded ticks (under mu).
+	lastScore float64
 
 	lastUsed time.Time // guarded by registry.mu (LRU/TTL bookkeeping)
 }

@@ -3,12 +3,14 @@ package serve
 import (
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 
 	"mdes"
 	"mdes/internal/checkpoint"
+	"mdes/internal/faultfs"
 )
 
 // sessionSnapshot is the durable state of one tenant session: which model it
@@ -32,19 +34,21 @@ func snapshotPath(dir, tenant string) string {
 // saveSnapshot durably replaces the tenant's snapshot: the framed record is
 // written to a temp file, fsynced, and renamed over the previous snapshot, so
 // a crash at any point leaves either the old intact snapshot or the new one —
-// never a torn file that parses.
-func saveSnapshot(dir, tenant string, snap sessionSnapshot) error {
+// never a torn file that parses. The parent directory is fsynced after the
+// rename; without that the rename (or the very first snapshot's creation)
+// lives only in the dirty directory page and can be undone by power loss.
+func saveSnapshot(fsys faultfs.FS, dir, tenant string, snap sessionSnapshot) error {
 	payload, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("serve: encode snapshot for %q: %w", tenant, err)
 	}
 	frame := checkpoint.AppendFrame(make([]byte, 0, len(payload)+8), payload)
 	path := snapshotPath(dir, tenant)
-	tmp, err := os.CreateTemp(dir, ".snap-*")
+	tmp, err := fsys.CreateTemp(dir, ".snap-*")
 	if err != nil {
 		return fmt.Errorf("serve: snapshot temp for %q: %w", tenant, err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(frame); err != nil {
 		_ = tmp.Close() // the write error is the one reported
 		return fmt.Errorf("serve: write snapshot for %q: %w", tenant, err)
@@ -56,8 +60,11 @@ func saveSnapshot(dir, tenant string, snap sessionSnapshot) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("serve: close snapshot for %q: %w", tenant, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("serve: install snapshot for %q: %w", tenant, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("serve: sync snapshot dir for %q: %w", tenant, err)
 	}
 	return nil
 }
@@ -66,9 +73,9 @@ func saveSnapshot(dir, tenant string, snap sessionSnapshot) error {
 // (zero, false, nil); a file whose single frame is torn or fails its CRC is
 // treated the same way — the tenant simply starts a fresh window — while a
 // frame that is intact but does not decode is a real error.
-func loadSnapshot(dir, tenant string) (sessionSnapshot, bool, error) {
-	data, err := os.ReadFile(snapshotPath(dir, tenant))
-	if os.IsNotExist(err) {
+func loadSnapshot(fsys faultfs.FS, dir, tenant string) (sessionSnapshot, bool, error) {
+	data, err := fsys.ReadFile(snapshotPath(dir, tenant))
+	if errors.Is(err, fs.ErrNotExist) {
 		return sessionSnapshot{}, false, nil
 	}
 	if err != nil {
@@ -86,11 +93,17 @@ func loadSnapshot(dir, tenant string) (sessionSnapshot, bool, error) {
 	return snap, true, nil
 }
 
-// deleteSnapshot removes a tenant's snapshot; missing files are fine.
-func deleteSnapshot(dir, tenant string) error {
-	err := os.Remove(snapshotPath(dir, tenant))
-	if err != nil && !os.IsNotExist(err) {
+// deleteSnapshot removes a tenant's snapshot and makes the removal durable;
+// missing files are fine.
+func deleteSnapshot(fsys faultfs.FS, dir, tenant string) error {
+	err := fsys.Remove(snapshotPath(dir, tenant))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return err
+	}
+	if err == nil {
+		if err := fsys.SyncDir(dir); err != nil {
+			return err
+		}
 	}
 	return nil
 }

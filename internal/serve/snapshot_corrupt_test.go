@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"mdes"
+	"mdes/internal/faultfs"
+)
+
+// refSnapshot builds one realistic session snapshot on disk and returns it
+// with the installed file's raw bytes.
+func refSnapshot(t *testing.T, dir string) (sessionSnapshot, []byte) {
+	t.Helper()
+	snap := sessionSnapshot{
+		Tenant: "plant",
+		Model:  "default",
+		Stream: mdes.StreamSnapshot{
+			Ticks:   42,
+			Emitted: 3,
+			Windows: map[string][]string{"a": {"ON", "OFF"}, "b": {"OFF", "ON"}},
+		},
+	}
+	if err := saveSnapshot(faultfs.OS, dir, "plant", snap); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(snapshotPath(dir, "plant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap, data
+}
+
+// checkDamaged loads a (possibly damaged) snapshot file and asserts the only
+// legal outcomes: a clean miss (the tenant starts fresh) or the original
+// snapshot, bit for bit. Never a panic, never an error, never a mutated
+// snapshot.
+func checkDamaged(t *testing.T, dir string, want sessionSnapshot, label string) {
+	t.Helper()
+	got, ok, err := loadSnapshot(faultfs.OS, dir, "plant")
+	if err != nil {
+		t.Fatalf("%s: loadSnapshot error: %v", label, err)
+	}
+	if ok && !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: damaged snapshot loaded as %+v, want exact original or a miss", label, got)
+	}
+}
+
+// TestSnapshotTruncationSweep cuts the snapshot file at every byte length:
+// any truncation short of the full frame must read as a miss, and the full
+// frame as the exact original.
+func TestSnapshotTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	want, data := refSnapshot(t, dir)
+	path := snapshotPath(dir, "plant")
+
+	for cut := 0; cut <= len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := loadSnapshot(faultfs.OS, dir, "plant")
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if cut < len(data) && ok {
+			t.Fatalf("cut at %d: truncated snapshot parsed as %+v", cut, got)
+		}
+		if cut == len(data) && (!ok || !reflect.DeepEqual(got, want)) {
+			t.Fatalf("full snapshot did not round-trip: ok=%v got=%+v", ok, got)
+		}
+	}
+}
+
+// TestSnapshotBitFlipSweep flips a single bit at every byte offset of the
+// snapshot file: the CRC frame must catch every one — the load either misses
+// cleanly or (never, for a framed file this small) returns the original.
+func TestSnapshotBitFlipSweep(t *testing.T) {
+	dir := t.TempDir()
+	want, data := refSnapshot(t, dir)
+	path := snapshotPath(dir, "plant")
+
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 1 << bit
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			checkDamaged(t, dir, want, "flip")
+		}
+	}
+}

@@ -34,6 +34,10 @@ type WirePoint struct {
 	Score  float64     `json:"score"`
 	Valid  int         `json:"valid"`
 	Broken []WireAlert `json:"broken,omitempty"`
+	// Degraded marks a point that could not be scored in time (deadline
+	// miss or missing pair model): Score repeats the session's last valid
+	// score and Valid/Broken are empty. See Options.ScoreDeadline.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // WireAlert is one broken pairwise relationship on the wire.

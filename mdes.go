@@ -27,6 +27,7 @@ import (
 
 	"mdes/internal/anomaly"
 	"mdes/internal/checkpoint"
+	"mdes/internal/faultfs"
 	"mdes/internal/graph"
 	"mdes/internal/lang"
 	"mdes/internal/nmt"
@@ -124,6 +125,10 @@ func New(cfg Config) (*Framework, error) {
 var (
 	ErrTooFewSensors = errors.New("mdes: need at least two non-constant sensors")
 	ErrMisaligned    = errors.New("mdes: train and dev datasets disagree on sensors")
+	// ErrNoPairModel reports a valid relationship whose pair model is absent
+	// from the loaded model — a corrupt or hand-edited model file. Serving
+	// layers match it with errors.Is to answer degraded instead of failing.
+	ErrNoPairModel = errors.New("mdes: no model for valid pair")
 )
 
 // PairRuntime records one pair model's wall-clock cost (Fig 4(a)).
@@ -157,6 +162,9 @@ type TrainProgress struct {
 	Done, Total int
 	// Resumed counts pairs restored from the checkpoint journal.
 	Resumed int
+	// TornTail is set on the initial resume report when opening the journal
+	// found — and dropped — a torn final record from a crash mid-append.
+	TornTail bool
 	// Src, Tgt and BLEU identify the pair that just finished (empty on the
 	// initial resume report).
 	Src, Tgt string
@@ -184,6 +192,10 @@ type TrainOptions struct {
 	Resume bool
 	// Progress, if non-nil, receives serialised TrainProgress reports.
 	Progress func(TrainProgress)
+	// FS overrides the filesystem the checkpoint journal lives on. The
+	// fault-injection harness (internal/chaos) passes a faultfs.InjectFS to
+	// prove crash-safety; nil selects the real filesystem.
+	FS faultfs.FS
 }
 
 // trainTracker accumulates progress state. TrainPairsOpts serialises
@@ -308,7 +320,11 @@ func (f *Framework) TrainWithOptions(ctx context.Context, train, dev *seqio.Data
 	var journal *checkpoint.Journal
 	var prior map[[2]string]checkpoint.PairRecord
 	if opts.Checkpoint != "" {
-		j, err := checkpoint.Open(opts.Checkpoint)
+		fsys := opts.FS
+		if fsys == nil {
+			fsys = faultfs.OS
+		}
+		j, err := checkpoint.OpenFS(fsys, opts.Checkpoint)
 		if err != nil {
 			return nil, err
 		}
@@ -352,8 +368,10 @@ func (f *Framework) TrainWithOptions(ctx context.Context, train, dev *seqio.Data
 		tracker.resumed++
 		tracker.addBLEU(rec.BLEU)
 	}
-	if opts.Progress != nil && tracker.resumed > 0 {
-		opts.Progress(tracker.snapshot("", "", 0))
+	if opts.Progress != nil && (tracker.resumed > 0 || (journal != nil && journal.Torn())) {
+		p := tracker.snapshot("", "", 0)
+		p.TornTail = journal != nil && journal.Torn()
+		opts.Progress(p)
 	}
 
 	// A journal write failure cancels the run: grinding on for hours while

@@ -148,7 +148,7 @@ func (m *Model) testScores(ctx context.Context, test *seqio.Dataset, det *anomal
 				rel := rels[k]
 				model := m.pairs[[2]string{rel.Src, rel.Tgt}]
 				if model == nil {
-					setErr(fmt.Errorf("mdes: no model for valid pair %s->%s", rel.Src, rel.Tgt))
+					setErr(fmt.Errorf("%w %s->%s", ErrNoPairModel, rel.Src, rel.Tgt))
 					continue
 				}
 				src, tgt := sents[rel.Src], sents[rel.Tgt]

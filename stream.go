@@ -184,7 +184,7 @@ func (s *Stream) emit() (*Point, error) {
 		m := s.model.pairs[[2]string{rel.Src, rel.Tgt}]
 		if m == nil {
 			//mdes:allow(noalloc) cold error path: a missing pair model is a corrupt-model condition
-			return nil, fmt.Errorf("mdes: no model for valid pair %s->%s", rel.Src, rel.Tgt)
+			return nil, fmt.Errorf("%w %s->%s", ErrNoPairModel, rel.Src, rel.Tgt)
 		}
 		jobs = append(jobs, ScoreJob{
 			k: k, model: m,
@@ -212,6 +212,25 @@ func (s *Stream) emit() (*Point, error) {
 	p.T = s.emitted
 	s.emitted++
 	return &p, nil
+}
+
+// SkipEmit records that the detection point due at the current tick was
+// answered out-of-band (internal/serve's degraded mode: a scoring deadline
+// miss or missing pair model) and advances the emitted-point counter past
+// it, returning the index the skipped point would have carried. Keeping the
+// counter in step is what keeps Snapshot/RestoreStream's tick↔emission
+// invariant intact, so a degraded session still snapshots and restores.
+// SkipEmit only advances when a point is actually pending — i.e. the last
+// Push completed a sentence window but its emit failed; calling it at any
+// other time returns the next point index without consuming it.
+func (s *Stream) SkipEmit() int {
+	if s.ticks >= s.span && (s.ticks-s.span)%s.stride == 0 {
+		if due := (s.ticks-s.span)/s.stride + 1; s.emitted < due {
+			s.emitted++
+			return s.emitted - 1
+		}
+	}
+	return s.emitted
 }
 
 // Ticks returns how many ticks have been consumed.
