@@ -11,6 +11,12 @@
 // -checkpoint: every finished pair is journaled durably, Ctrl-C cancels
 // cleanly mid-pair, and re-running with -resume retrains only the pairs the
 // interrupted run did not finish.
+//
+// Large plants should also pass -screen-topk (and/or -screen-threshold):
+// candidate-pair screening ranks every ordered pair by a cheap co-occurrence
+// association score and trains NMT models only for the selected candidates,
+// breaking the O(N²) pair-sweep wall. Both flags off (the default) trains
+// every pair, exactly as the paper does.
 package main
 
 import (
@@ -52,6 +58,8 @@ func run(args []string, stdout io.Writer) error {
 	validLo := fs.Float64("valid-lo", 80, "valid-model BLEU band lower bound")
 	validHi := fs.Float64("valid-hi", 90, "valid-model BLEU band upper bound")
 	popular := fs.Int("popular", 100, "popular-sensor in-degree threshold")
+	screenTopK := fs.Int("screen-topk", 0, "train only the K best-scoring candidate pairs (0 = train every pair)")
+	screenThreshold := fs.Float64("screen-threshold", 0, "train only candidate pairs with fused screening score >= this (0 = no floor)")
 	workers := fs.Int("workers", 0, "parallel pair-training workers (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 1, "random seed")
 	ckpt := fs.String("checkpoint", "", "journal finished pairs to this file (crash/cancel safe)")
@@ -116,6 +124,8 @@ func run(args []string, stdout io.Writer) error {
 	cfg.NMT.Embed = *hidden
 	cfg.NMT.Layers = *layers
 	cfg.NMT.TrainSteps = *steps
+	cfg.Screen.TopK = *screenTopK
+	cfg.Screen.Threshold = *screenThreshold
 	cfg.ValidRange = mdes.Range{Lo: *validLo, Hi: *validHi}
 	cfg.PopularInDegree = *popular
 	cfg.Workers = *workers
@@ -168,6 +178,10 @@ func run(args []string, stdout io.Writer) error {
 	defer out.Close()
 	if err := model.Save(out); err != nil {
 		return err
+	}
+	if s := model.Screen(); s.Enabled {
+		fmt.Fprintf(stdout, "screening selected %d of %d pairs (%d skipped before NMT training)\n",
+			s.Selected, s.Selected+s.Skipped, s.Skipped)
 	}
 	fmt.Fprintf(stdout, "trained %d sensors (%d pair models, %d dropped as constant); model -> %s\n",
 		len(model.Sensors()), model.Graph().NumEdges(), len(model.DroppedSensors()), *modelPath)

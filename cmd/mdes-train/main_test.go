@@ -190,3 +190,62 @@ func TestTrainUsageErrors(t *testing.T) {
 		t.Fatal("missing file accepted")
 	}
 }
+
+// TestTrainScreenFlags drives the -screen-topk path end to end: the run must
+// train only the selected pairs, report the selection on stdout, and persist
+// the decision in the saved model.
+func TestTrainScreenFlags(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.csv")
+	modelPath := filepath.Join(dir, "model.json")
+	writeToyLog(t, logPath, 420)
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-in", logPath, "-train-ticks", "300", "-dev-ticks", "120",
+		"-word", "3", "-sentence", "4", "-sentence-stride", "4",
+		"-hidden", "12", "-layers", "1", "-steps", "60",
+		"-valid-lo", "0", "-valid-hi", "100",
+		"-screen-topk", "2",
+		"-model", modelPath,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "screening selected 2 of 6 pairs (4 skipped") {
+		t.Fatalf("missing screening line in output: %s", out.String())
+	}
+	// Only the 2 sensors of the selected pairs appear in the graph.
+	if !strings.Contains(out.String(), "trained 2 sensors (2 pair models") {
+		t.Fatalf("unexpected training summary: %s", out.String())
+	}
+
+	f, err := os.Open(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	model, err := mdes.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := model.Screen(); !s.Enabled || s.Selected != 2 || s.Skipped != 4 {
+		t.Fatalf("persisted screen summary = %+v, want 2 selected / 4 skipped", s)
+	}
+}
+
+// TestTrainScreenFlagValidation: a nonsensical screening threshold must fail
+// before any training starts.
+func TestTrainScreenFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "log.csv")
+	writeToyLog(t, logPath, 420)
+	err := run([]string{
+		"-in", logPath, "-train-ticks", "300", "-dev-ticks", "120",
+		"-screen-threshold", "1.5",
+		"-model", filepath.Join(dir, "model.json"),
+	}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "threshold") {
+		t.Fatalf("err = %v, want screening threshold validation error", err)
+	}
+}

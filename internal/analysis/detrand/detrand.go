@@ -40,6 +40,7 @@ var Packages = []string{
 	"internal/mat",
 	"internal/bleu",
 	"internal/anomaly",
+	"internal/pairmine",
 	"internal/graph",
 	"internal/community",
 	"internal/stats",

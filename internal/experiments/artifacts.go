@@ -29,6 +29,9 @@ type Scale struct {
 	PlantSubset     int // sensors carried into pairwise training
 	PlantLang       mdes.LanguageConfig
 	PlantNMT        mdes.NMTConfig
+	// Screen, when enabled, restricts NMT training to the top candidate
+	// pairs (used by ScreenScale; zero for the exhaustive paper sweep).
+	Screen          mdes.ScreenConfig
 	TrainDays       int
 	DevDays         int
 	PopularInDegree int
@@ -160,6 +163,7 @@ func BuildPlant(ctx context.Context, sc Scale) (*PlantArtifacts, error) {
 	cfg := mdes.Config{
 		Language:        sc.PlantLang,
 		NMT:             sc.PlantNMT,
+		Screen:          sc.Screen,
 		ValidRange:      sc.ValidRange(),
 		PopularInDegree: sc.PopularInDegree,
 		Workers:         sc.Workers,

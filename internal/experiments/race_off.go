@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with -race. The
+// screen-scale fixture (500 sensors, ~240k screened pairs) is sized for the
+// plain test run; under the race detector it would dominate the CI budget,
+// so its tests skip unless forced via MDES_SCREEN_RACE.
+const raceEnabled = false

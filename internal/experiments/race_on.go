@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the binary was built with -race; see
+// race_off.go for why the screen-scale tests consult it.
+const raceEnabled = true

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"mdes"
+	"mdes/internal/lang"
+	"mdes/internal/pairmine"
+	"mdes/internal/plantgen"
+)
+
+// skipUnderRace keeps the 500-sensor fixture out of the -race CI job; the
+// plain tier-1 run and the screen-smoke job still exercise it. Set
+// MDES_SCREEN_RACE=1 to force it.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled && os.Getenv("MDES_SCREEN_RACE") == "" {
+		t.Skip("screen-scale fixture skipped under -race (set MDES_SCREEN_RACE=1 to force)")
+	}
+}
+
+// TestScreenedPlantValidation is the acceptance run for candidate-pair
+// screening: a 500-sensor plant where exhaustive pairwise training would
+// need ~240k NMT models. Screening must keep the trained share at <= 10% of
+// the ordered pairs while the precursor and anomaly days still stand out of
+// the normal test day.
+func TestScreenedPlantValidation(t *testing.T) {
+	skipUnderRace(t)
+	p, err := ScreenPlant()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The pair universe screening ranked: every ordered pair of the
+	// non-constant sensors. Model.Sensors() only lists graph nodes (sensors
+	// in trained pairs), so recover the count from the screen summary.
+	s := p.Model.Screen()
+	allPairs := s.Selected + s.Skipped
+	if !s.Enabled || allPairs < 400*399 {
+		t.Fatalf("screen summary %+v, want enabled over the bulk of the 500-sensor plant", s)
+	}
+	trained := p.Model.Graph().NumEdges()
+	if trained != s.Selected {
+		t.Fatalf("trained %d pairs but screening selected %d", trained, s.Selected)
+	}
+	if trained == 0 || float64(trained) > 0.10*float64(allPairs) {
+		t.Fatalf("trained %d of %d pairs (%.2f%%), want (0, 10%%]",
+			trained, allPairs, 100*float64(trained)/float64(allPairs))
+	}
+
+	day := p.DayScores(p.Points)
+	var normalMean float64
+	var nn int
+	for d, sc := range day {
+		if !containsInt(p.GT.AnomalyDays, d) && !containsInt(p.GT.PrecursorDays, d) {
+			normalMean += sc
+			nn++
+		}
+	}
+	if nn == 0 {
+		t.Fatal("no normal day in the test horizon")
+	}
+	normalMean /= float64(nn)
+	t.Logf("screened %d of %d ordered pairs (%.2f%%); day scores: normal mean %.3f, days %v",
+		trained, allPairs, 100*float64(trained)/float64(allPairs), normalMean, day)
+	for _, d := range p.GT.AnomalyDays {
+		if day[d] <= normalMean {
+			t.Fatalf("anomaly day %d score %.3f <= normal mean %.3f", d, day[d], normalMean)
+		}
+	}
+	for _, d := range p.GT.PrecursorDays {
+		if day[d] <= normalMean {
+			t.Fatalf("precursor day %d score %.3f <= normal mean %.3f", d, day[d], normalMean)
+		}
+	}
+}
+
+// flaggedDays thresholds per-day mean scores at the midpoint of their range:
+// on a plant with clear anomalies, days above the midpoint are the ones an
+// operator would act on.
+func flaggedDays(day map[int]float64) map[int]bool {
+	lo, hi := 1.0, 0.0
+	for _, s := range day {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	mid := (lo + hi) / 2
+	out := make(map[int]bool)
+	for d, s := range day {
+		if s > mid {
+			out[d] = true
+		}
+	}
+	return out
+}
+
+// TestScreenedDetectionParity: on the quick plant, training only the
+// screened candidates must flag the same days end to end as the exhaustive
+// pairwise sweep.
+func TestScreenedDetectionParity(t *testing.T) {
+	full, err := QuickPlant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := QuickScale()
+	sc.Screen.TopK = 20 // of 56 ordered pairs over the 8-sensor subset
+	screened, err := BuildPlant(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := screened.Model.Screen(); !s.Enabled || s.Selected != 20 {
+		t.Fatalf("screen summary = %+v, want 20 selected", s)
+	}
+
+	fullFlags := flaggedDays(full.DayScores(full.Points))
+	screenFlags := flaggedDays(screened.DayScores(screened.Points))
+	if len(fullFlags) == 0 {
+		t.Fatal("exhaustive run flagged no days")
+	}
+	for d := range fullFlags {
+		if !screenFlags[d] {
+			t.Errorf("day %d flagged by exhaustive run but not by screened run", d)
+		}
+	}
+	for d := range screenFlags {
+		if !fullFlags[d] {
+			t.Errorf("day %d flagged by screened run but not by exhaustive run", d)
+		}
+	}
+	// Both must agree with ground truth on the anomalies inside the horizon.
+	for _, d := range full.GT.AnomalyDays {
+		if d >= full.TestStartDay && !screenFlags[d] {
+			t.Errorf("screened run missed ground-truth anomaly day %d", d)
+		}
+	}
+}
+
+// screenBenchScale is the 200-sensor plant the screen-smoke CI job times:
+// large enough that screening visibly beats the exhaustive sweep, small
+// enough for a single benchmark iteration.
+func screenBenchScale() Scale {
+	sc := ScreenScale()
+	sc.Plant.Sensors = 200
+	sc.Plant.Popular = 3
+	sc.Screen = mdes.ScreenConfig{TopK: 300}
+	return sc
+}
+
+// BenchmarkScreenPairs200 times the screening pass alone: ranking every
+// ordered pair of a 200-sensor plant's training split.
+func BenchmarkScreenPairs200(b *testing.B) {
+	sc := screenBenchScale()
+	ds, _, err := plantgen.Generate(sc.Plant)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _, _, err := ds.Split(sc.TrainDays*sc.Plant.MinutesPerDay, sc.DevDays*sc.Plant.MinutesPerDay)
+	if err != nil {
+		b.Fatal(err)
+	}
+	filtered, _ := train.FilterConstant()
+	sensors := make([]pairmine.Sensor, 0, len(filtered.Sequences))
+	for _, seq := range filtered.Sequences {
+		sensors = append(sensors, pairmine.Sensor{
+			Name:  seq.Sensor,
+			Chars: lang.Encrypt(seq.Events, seq.Alphabet()),
+		})
+	}
+	cfg := pairmine.Config(sc.Screen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pairmine.Screen(context.Background(), sensors, cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Selected) != sc.Screen.TopK {
+			b.Fatalf("selected %d pairs, want %d", len(res.Selected), sc.Screen.TopK)
+		}
+	}
+}
+
+// BenchmarkScreenedTrainPlant200 times the full screened pipeline on the
+// 200-sensor plant: generate, screen, train the selected pairs, detect.
+func BenchmarkScreenedTrainPlant200(b *testing.B) {
+	sc := screenBenchScale()
+	for i := 0; i < b.N; i++ {
+		p, err := BuildScreenedPlant(context.Background(), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.Model.Graph().NumEdges() == 0 {
+			b.Fatal("screened training produced no edges")
+		}
+	}
+}

@@ -35,6 +35,18 @@ const (
 // events exactly like Encrypt does.
 const UnknownChar = '?'
 
+// MaxAlphabet is the largest event alphabet Encrypt can represent without
+// collisions: ranks are single bytes 'a'..0xFF, so only 256-'a' distinct
+// events fit. Past that, byte('a'+i) silently wraps — ranks collide with
+// each other and, at i = 222, with UnknownChar itself, corrupting words
+// with no error anywhere downstream. Build enforces the bound; so must any
+// loader that rebuilds rank tables from a persisted alphabet.
+const MaxAlphabet = 256 - 'a'
+
+// ErrAlphabetTooLarge indicates a sensor with more distinct events than the
+// byte-rank encryption can represent.
+var ErrAlphabetTooLarge = errors.New("lang: alphabet exceeds representable range")
+
 // Config controls word and sentence generation. The paper's plant settings
 // are WordLen 10, WordStride 1, SentenceLen 20, SentenceStride 20; the HDD
 // settings are WordLen 5, WordStride 1, SentenceLen 7, SentenceStride 1.
@@ -95,7 +107,8 @@ func (c Config) NumSentences(ticks int) int {
 // training alphabet: the i-th distinct event becomes 'a'+i. Events outside
 // the alphabet become UnknownChar. Alphabets longer than 26 extend into
 // subsequent ASCII; sensors in this domain have single-digit cardinality
-// (paper: mean 2.07, max 7).
+// (paper: mean 2.07, max 7). The alphabet must hold at most MaxAlphabet
+// events — Build rejects anything larger — or ranks would wrap and collide.
 func Encrypt(events []string, alphabet []string) []byte {
 	rank := make(map[string]byte, len(alphabet))
 	for i, e := range alphabet {
@@ -267,6 +280,10 @@ func Build(seq seqio.Sequence, cfg Config) (*Language, error) {
 		return nil, fmt.Errorf("%w: sensor %q has %d ticks", ErrTooShort, seq.Sensor, len(seq.Events))
 	}
 	alphabet := seq.Alphabet()
+	if len(alphabet) > MaxAlphabet {
+		return nil, fmt.Errorf("%w: sensor %q has %d distinct events, max %d",
+			ErrAlphabetTooLarge, seq.Sensor, len(alphabet), MaxAlphabet)
+	}
 	sentences := cfg.Sentences(cfg.Words(Encrypt(seq.Events, alphabet)))
 	return &Language{
 		Sensor:   seq.Sensor,

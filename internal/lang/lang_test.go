@@ -2,6 +2,7 @@ package lang
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -298,5 +299,41 @@ func TestIDBytesMatchesIDAndDoesNotAllocate(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("IDBytes allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestBuildAlphabetBound pins the byte-rank encryption boundary: exactly
+// MaxAlphabet distinct events must encrypt collision-free (and never collide
+// with UnknownChar), while one more event must be rejected by Build instead
+// of silently wrapping byte('a'+i) into colliding — or '?'-aliasing — ranks.
+func TestBuildAlphabetBound(t *testing.T) {
+	cfg := Config{WordLen: 1, WordStride: 1, SentenceLen: 1, SentenceStride: 1}
+	mkSeq := func(card int) seqio.Sequence {
+		events := make([]string, card)
+		for i := range events {
+			events[i] = fmt.Sprintf("ev%03d", i)
+		}
+		return seqio.Sequence{Sensor: "wide", Events: events}
+	}
+
+	seq := mkSeq(MaxAlphabet)
+	l, err := Build(seq, cfg)
+	if err != nil {
+		t.Fatalf("Build at the %d-event boundary: %v", MaxAlphabet, err)
+	}
+	chars := Encrypt(seq.Events, l.Alphabet)
+	seen := make(map[byte]string, len(chars))
+	for i, c := range chars {
+		if c == UnknownChar {
+			t.Fatalf("in-alphabet event %q encrypted to UnknownChar", seq.Events[i])
+		}
+		if prev, dup := seen[c]; dup {
+			t.Fatalf("rank collision: %q and %q both encrypt to %q", prev, seq.Events[i], c)
+		}
+		seen[c] = seq.Events[i]
+	}
+
+	if _, err := Build(mkSeq(MaxAlphabet+1), cfg); !errors.Is(err, ErrAlphabetTooLarge) {
+		t.Fatalf("Build past the boundary: err = %v, want ErrAlphabetTooLarge", err)
 	}
 }

@@ -1,0 +1,212 @@
+package pairmine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// genSensors builds a deterministic family: sensors 0 and 1 share a latent
+// square wave (1 lags 0 by one tick), sensor 2 is an independent coin flip,
+// sensor 3 follows its own slower wave.
+func genSensors(seed int64, ticks int) []Sensor {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]byte, ticks)
+	b := make([]byte, ticks)
+	c := make([]byte, ticks)
+	d := make([]byte, ticks)
+	state := byte('a')
+	for t := 0; t < ticks; t++ {
+		if rng.Float64() < 0.12 {
+			if state == 'a' {
+				state = 'b'
+			} else {
+				state = 'a'
+			}
+		}
+		a[t] = state
+		if t == 0 {
+			b[t] = state
+		} else {
+			b[t] = a[t-1]
+		}
+		if rng.Float64() < 0.5 {
+			c[t] = 'a'
+		} else {
+			c[t] = 'b'
+		}
+		if (t/37)%2 == 0 {
+			d[t] = 'a'
+		} else {
+			d[t] = 'b'
+		}
+	}
+	return []Sensor{
+		{Name: "s0", Chars: a},
+		{Name: "s1", Chars: b},
+		{Name: "s2", Chars: c},
+		{Name: "s3", Chars: d},
+	}
+}
+
+func TestScreenRanksCoupledPairsFirst(t *testing.T) {
+	sensors := genSensors(7, 4000)
+	res, err := Screen(context.Background(), sensors, Config{TopK: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranked) != 12 {
+		t.Fatalf("ranked %d pairs, want 12", len(res.Ranked))
+	}
+	if len(res.Selected) != 2 {
+		t.Fatalf("selected %d pairs, want 2", len(res.Selected))
+	}
+	sel := res.SelectedSet()
+	if !sel[[2]string{"s0", "s1"}] || !sel[[2]string{"s1", "s0"}] {
+		t.Fatalf("coupled pair not top-ranked; selected %+v", res.Selected)
+	}
+	// The coupled pair must beat the independent one in both directions.
+	score := func(src, tgt string) float64 {
+		for _, p := range res.Ranked {
+			if p.Src == src && p.Tgt == tgt {
+				return p.Fused
+			}
+		}
+		t.Fatalf("pair %s->%s missing from ranking", src, tgt)
+		return 0
+	}
+	if score("s0", "s1") <= score("s0", "s2") {
+		t.Fatalf("coupled pair %v not above independent pair %v",
+			score("s0", "s1"), score("s0", "s2"))
+	}
+	for _, p := range res.Ranked {
+		if p.Fused < 0 || p.Fused > 1 || p.Confidence < 0 || p.Confidence > 1 || p.NMI < 0 || p.NMI > 1 {
+			t.Fatalf("score outside [0,1]: %+v", p)
+		}
+	}
+}
+
+// TestScreenDeterministic is the determinism contract: identical input and
+// config produce bit-identical rankings and selections no matter how many
+// workers race over the rows. Run under -race in CI.
+func TestScreenDeterministic(t *testing.T) {
+	sensors := genSensors(11, 3000)
+	cfg := Config{TopK: 5, WordLen: 3, Stride: 2, MaxSamples: 900}
+	var base *Result
+	for _, workers := range []int{1, 2, 7, 0} {
+		res, err := Screen(context.Background(), sensors, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if len(res.Ranked) != len(base.Ranked) || len(res.Selected) != len(base.Selected) {
+			t.Fatalf("workers=%d: sizes differ", workers)
+		}
+		for i := range base.Ranked {
+			if res.Ranked[i] != base.Ranked[i] { // exact float equality: bit-identical
+				t.Fatalf("workers=%d: rank %d differs: %+v vs %+v",
+					workers, i, res.Ranked[i], base.Ranked[i])
+			}
+		}
+		for i := range base.Selected {
+			if res.Selected[i] != base.Selected[i] {
+				t.Fatalf("workers=%d: selection %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestScreenThresholdAndTopK(t *testing.T) {
+	sensors := genSensors(3, 2500)
+	all, err := Screen(context.Background(), sensors, Config{TopK: 1000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a threshold between the best and worst fused scores and check
+	// the cut lands exactly there.
+	lo, hi := all.Ranked[len(all.Ranked)-1].Fused, all.Ranked[0].Fused
+	if lo >= hi {
+		t.Fatalf("degenerate score spread [%v,%v]", lo, hi)
+	}
+	th := (lo + hi) / 2
+	want := 0
+	for _, p := range all.Ranked {
+		if p.Fused >= th {
+			want++
+		}
+	}
+	res, err := Screen(context.Background(), sensors, Config{Threshold: th}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != want {
+		t.Fatalf("threshold %v selected %d pairs, want %d", th, len(res.Selected), want)
+	}
+	// TopK caps the thresholded set.
+	res, err = Screen(context.Background(), sensors, Config{Threshold: th, TopK: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 1 || res.Selected[0] != all.Ranked[0] {
+		t.Fatalf("topk+threshold selected %+v, want best pair only", res.Selected)
+	}
+}
+
+func TestScreenErrors(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Screen(ctx, []Sensor{{Name: "solo", Chars: []byte("aaaa")}}, Config{TopK: 1}, 1); err == nil {
+		t.Fatal("single sensor accepted")
+	}
+	short := []Sensor{
+		{Name: "a", Chars: []byte("ab")},
+		{Name: "b", Chars: []byte("ba")},
+	}
+	if _, err := Screen(ctx, short, Config{TopK: 1, WordLen: 8}, 1); err == nil {
+		t.Fatal("too-short stream accepted")
+	}
+	dup := []Sensor{
+		{Name: "a", Chars: []byte("abababab")},
+		{Name: "a", Chars: []byte("babababa")},
+	}
+	if _, err := Screen(ctx, dup, Config{TopK: 1}, 1); err == nil {
+		t.Fatal("duplicate sensor accepted")
+	}
+	misaligned := []Sensor{
+		{Name: "a", Chars: []byte("abababab")},
+		{Name: "b", Chars: make([]byte, 100)},
+	}
+	if _, err := Screen(ctx, misaligned, Config{TopK: 1}, 1); err == nil {
+		t.Fatal("misaligned streams accepted")
+	}
+	bad := Config{TopK: -1}
+	if _, err := Screen(ctx, genSensors(1, 500), bad, 1); err == nil {
+		t.Fatal("negative top-k accepted")
+	}
+}
+
+func TestScreenCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Screen(ctx, genSensors(5, 2000), Config{TopK: 3}, 2); err == nil {
+		t.Fatal("cancelled screen returned no error")
+	}
+}
+
+func TestSampleIndices(t *testing.T) {
+	got := sampleIndices(5, 10)
+	if len(got) != 5 {
+		t.Fatalf("undersized stream sampled %d positions", len(got))
+	}
+	got = sampleIndices(1000, 10)
+	if len(got) != 10 {
+		t.Fatalf("sampled %d positions, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] || got[i] >= 1000 {
+			t.Fatalf("samples not strictly increasing in range: %v", got)
+		}
+	}
+}

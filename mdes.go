@@ -31,6 +31,7 @@ import (
 	"mdes/internal/graph"
 	"mdes/internal/lang"
 	"mdes/internal/nmt"
+	"mdes/internal/pairmine"
 	"mdes/internal/seqio"
 )
 
@@ -57,6 +58,10 @@ type (
 	LanguageConfig = lang.Config
 	// NMTConfig controls the pairwise translation models.
 	NMTConfig = nmt.Config
+	// ScreenConfig controls candidate-pair screening before NMT training.
+	ScreenConfig = pairmine.Config
+	// PairScore is one ordered pair's screening outcome.
+	PairScore = pairmine.PairScore
 )
 
 // Config assembles the framework's tunables.
@@ -72,6 +77,11 @@ type Config struct {
 	// PopularInDegree is the in-degree threshold marking popular sensors
 	// (paper: 100 for the 128-sensor plant). Scale it with sensor count.
 	PopularInDegree int
+	// Screen, when enabled (TopK or Threshold set), ranks every ordered
+	// pair by a cheap co-occurrence score before any NMT training and
+	// trains only the selected candidates. The zero value keeps the
+	// paper's exact train-every-pair behaviour.
+	Screen ScreenConfig
 	// Workers bounds parallel pair training; <= 0 uses GOMAXPROCS.
 	Workers int
 	// Seed makes the whole pipeline reproducible.
@@ -104,6 +114,9 @@ func (c Config) Validate() error {
 	}
 	if c.PopularInDegree < 0 {
 		return fmt.Errorf("mdes: popular in-degree %d negative", c.PopularInDegree)
+	}
+	if err := c.Screen.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -146,6 +159,20 @@ type Model struct {
 	pairs     map[[2]string]*nmt.Model
 	dropped   []string
 	runtimes  []PairRuntime
+	screen    ScreenSummary
+}
+
+// ScreenSummary records the candidate-pair screening decision of a training
+// run; it survives Save/Load. Selected+Skipped equals the full N·(N−1) pair
+// count of the run. The screening configuration itself lives in
+// Config.Screen.
+type ScreenSummary struct {
+	// Enabled reports whether screening ran at all.
+	Enabled bool `json:"enabled"`
+	// Selected counts the pairs that passed screening and were trained.
+	Selected int `json:"selected"`
+	// Skipped counts the pairs pruned before any NMT training.
+	Skipped int `json:"skipped"`
 }
 
 // BLEUStats summarises the dev-BLEU distribution over finished pairs.
@@ -204,6 +231,13 @@ type TrainOptions struct {
 type trainTracker struct {
 	total, done, resumed int
 	start                time.Time
+	// live anchors the ETA extrapolation: it is stamped after journal
+	// replay and pair restoration finish, so the per-pair rate reflects
+	// only live training. Extrapolating from start would fold thousands of
+	// restored pairs' replay time into the first post-resume ETAs,
+	// overestimating wildly. Zero (direct snapshot construction in tests)
+	// falls back to start.
+	live time.Time
 	// bleus is kept sorted by addBLEU and bleuSum is maintained incrementally,
 	// so each snapshot computes its stats in O(1) instead of copying and
 	// re-sorting every finished pair's score on every progress report
@@ -237,7 +271,12 @@ func (tk *trainTracker) snapshot(src, tgt string, bleu float64) TrainProgress {
 		p.BLEUs = BLEUStats{Min: tk.bleus[0], Median: median, Mean: tk.bleuSum / float64(n), Max: tk.bleus[n-1]}
 	}
 	if trained := tk.done - tk.resumed; trained > 0 && tk.done < tk.total {
-		p.ETA = p.Elapsed / time.Duration(trained) * time.Duration(tk.total-tk.done)
+		anchor := tk.live
+		if anchor.IsZero() {
+			anchor = tk.start
+		}
+		//mdes:allow(detrand) ETA is progress reporting for humans; it never feeds a score
+		p.ETA = time.Since(anchor) / time.Duration(trained) * time.Duration(tk.total-tk.done)
 	}
 	return p
 }
@@ -299,12 +338,41 @@ func (f *Framework) TrainWithOptions(ctx context.Context, train, dev *seqio.Data
 		devSents[seq.Sensor] = ds
 	}
 
-	// All ordered pairs.
+	// Candidate-pair screening: rank every ordered pair by co-occurrence
+	// association over the training split and keep only the selected
+	// candidates. Disabled (the default) trains all N·(N−1) pairs exactly
+	// as the paper does.
 	sensors := filtered.Sensors()
-	pairs := make([]nmt.PairData, 0, len(sensors)*(len(sensors)-1))
+	allPairs := len(sensors) * (len(sensors) - 1)
+	var selected map[[2]string]bool
+	if f.cfg.Screen.Enabled() {
+		screenIn := make([]pairmine.Sensor, 0, len(filtered.Sequences))
+		for _, seq := range filtered.Sequences {
+			screenIn = append(screenIn, pairmine.Sensor{
+				Name:  seq.Sensor,
+				Chars: lang.Encrypt(seq.Events, m.languages[seq.Sensor].Alphabet),
+			})
+		}
+		res, err := pairmine.Screen(ctx, screenIn, f.cfg.Screen, f.cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("mdes: screening: %w", err)
+		}
+		selected = res.SelectedSet()
+		if len(selected) == 0 {
+			return nil, fmt.Errorf("mdes: screening selected 0 of %d pairs; lower Screen.Threshold or raise Screen.TopK", allPairs)
+		}
+		m.screen = ScreenSummary{Enabled: true, Selected: len(selected), Skipped: allPairs - len(selected)}
+	}
+
+	// The ordered pairs carried into NMT training (all of them, or the
+	// screened candidates).
+	pairs := make([]nmt.PairData, 0, allPairs)
 	for _, src := range sensors {
 		for _, tgt := range sensors {
 			if src == tgt {
+				continue
+			}
+			if selected != nil && !selected[[2]string{src, tgt}] {
 				continue
 			}
 			pairs = append(pairs, nmt.PairData{
@@ -368,6 +436,11 @@ func (f *Framework) TrainWithOptions(ctx context.Context, train, dev *seqio.Data
 		tracker.resumed++
 		tracker.addBLEU(rec.BLEU)
 	}
+	// Anchor ETA extrapolation here: restoration (journal replay, weight
+	// deserialisation for potentially thousands of pairs) is over, live
+	// training is about to start.
+	//mdes:allow(detrand) wall-clock anchors the ETA in progress reports; it never feeds a score
+	tracker.live = time.Now()
 	if opts.Progress != nil && (tracker.resumed > 0 || (journal != nil && journal.Torn())) {
 		p := tracker.snapshot("", "", 0)
 		p.TornTail = journal != nil && journal.Torn()

@@ -3,6 +3,7 @@ package mdes
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -26,6 +27,10 @@ func (m *Model) Config() Config { return m.cfg }
 
 // DroppedSensors lists the constant sensors removed by sequence filtering.
 func (m *Model) DroppedSensors() []string { return append([]string(nil), m.dropped...) }
+
+// Screen reports the candidate-pair screening decision of the training run
+// (zero value when screening was disabled). The counts survive Save/Load.
+func (m *Model) Screen() ScreenSummary { return m.screen }
 
 // Sensors lists the modelled (non-constant) sensors.
 func (m *Model) Sensors() []string { return m.graph.Nodes() }
@@ -229,6 +234,7 @@ type persistedModel struct {
 	Edges     []graph.Edge             `json:"edges"`
 	Pairs     map[string]nmt.State     `json:"pairs"`
 	Runtimes  []PairRuntime            `json:"runtimes,omitempty"`
+	Screen    ScreenSummary            `json:"screen,omitempty"`
 }
 
 type persistedLang struct {
@@ -262,6 +268,7 @@ func (m *Model) Save(w io.Writer) error {
 		Edges:     m.graph.Edges(),
 		Pairs:     make(map[string]nmt.State, len(m.pairs)),
 		Runtimes:  m.runtimes,
+		Screen:    m.screen,
 	}
 	for name, l := range m.languages {
 		words := make([]string, 0, l.Vocab.WordCount())
@@ -279,11 +286,26 @@ func (m *Model) Save(w io.Writer) error {
 	return enc.Encode(p)
 }
 
-// Load reconstructs a model saved with Save.
+// ErrCorruptModel reports a model file that decodes as JSON but fails
+// structural validation: a missing or invalid configuration, a language with
+// an unrepresentable alphabet, or edges/pairs referencing sensors with no
+// language. Rejecting these at Load turns what would otherwise be deferred
+// panics (e.g. NewStream computing a zero sentence stride from a zero
+// config, then Push dividing by it) into immediate, matchable errors.
+var ErrCorruptModel = errors.New("mdes: corrupt model")
+
+// Load reconstructs a model saved with Save. A file that decodes but fails
+// validation returns an error matching ErrCorruptModel.
 func Load(r io.Reader) (*Model, error) {
 	var p persistedModel
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("mdes: decode model: %w", err)
+	}
+	// A truncated or hand-edited file with a missing/zero config would
+	// load fine and only blow up later (NewStream's stride arithmetic,
+	// Detect's window math); validate everything up front instead.
+	if err := p.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: config: %v", ErrCorruptModel, err)
 	}
 	m := &Model{
 		cfg:       p.Config,
@@ -292,8 +314,16 @@ func Load(r io.Reader) (*Model, error) {
 		pairs:     make(map[[2]string]*nmt.Model, len(p.Pairs)),
 		dropped:   p.Dropped,
 		runtimes:  p.Runtimes,
+		screen:    p.Screen,
 	}
 	for name, pl := range p.Languages {
+		if err := pl.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: language %q: %v", ErrCorruptModel, name, err)
+		}
+		if len(pl.Alphabet) > lang.MaxAlphabet {
+			return nil, fmt.Errorf("%w: language %q: alphabet holds %d events, max %d",
+				ErrCorruptModel, name, len(pl.Alphabet), lang.MaxAlphabet)
+		}
 		m.languages[name] = &lang.Language{
 			Sensor:   pl.Sensor,
 			Alphabet: pl.Alphabet,
@@ -302,6 +332,11 @@ func Load(r io.Reader) (*Model, error) {
 		}
 	}
 	for _, e := range p.Edges {
+		// An edge over a sensor with no language cannot be encoded at
+		// detection time; surface the inconsistency now.
+		if m.languages[e.Src] == nil || m.languages[e.Tgt] == nil {
+			return nil, fmt.Errorf("%w: edge %s->%s references a sensor with no language", ErrCorruptModel, e.Src, e.Tgt)
+		}
 		if err := m.graph.AddEdgeChecked(e.Src, e.Tgt, e.Score); err != nil {
 			return nil, err
 		}
@@ -317,7 +352,10 @@ func Load(r io.Reader) (*Model, error) {
 		// Both halves must be non-empty: "\x1fX", "A\x1f", and keys with no
 		// separator at all are malformed, not pairs with a nameless sensor.
 		if src == "" || tgt == "" {
-			return nil, fmt.Errorf("mdes: malformed pair key %q", key)
+			return nil, fmt.Errorf("%w: malformed pair key %q", ErrCorruptModel, key)
+		}
+		if m.languages[src] == nil || m.languages[tgt] == nil {
+			return nil, fmt.Errorf("%w: pair %s->%s references a sensor with no language", ErrCorruptModel, src, tgt)
 		}
 		model, err := nmt.LoadModel(st)
 		if err != nil {

@@ -1,0 +1,207 @@
+package mdes
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mdes/internal/seqio"
+)
+
+func screenTestSplits(t *testing.T, seed int64) (train, dev *seqio.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	full := coupledDataset(rng, 500)
+	train, dev, _, err := full.Split(380, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, dev
+}
+
+// TestTrainScreenedSelectsSubset: with TopK=2 on the coupled dataset (6
+// ordered pairs over a, b, c), screening must train exactly 2 pairs, report
+// them in TrainProgress.Total, keep the a<->b couple (the only real
+// relationship), and persist the decision through Save/Load.
+func TestTrainScreenedSelectsSubset(t *testing.T) {
+	train, dev := screenTestSplits(t, 42)
+	cfg := tinyTestConfig()
+	cfg.Screen.TopK = 2
+	fw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var last TrainProgress
+	model, err := fw.TrainWithOptions(context.Background(), train, dev, TrainOptions{
+		Progress: func(p TrainProgress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if last.Total != 2 || last.Done != 2 {
+		t.Fatalf("progress %d/%d, want 2/2 after screening", last.Done, last.Total)
+	}
+	s := model.Screen()
+	if !s.Enabled || s.Selected != 2 || s.Skipped != 4 {
+		t.Fatalf("screen summary = %+v, want enabled 2 selected / 4 skipped", s)
+	}
+	edges := model.Graph().Edges()
+	if len(edges) != 2 {
+		t.Fatalf("graph has %d edges, want 2", len(edges))
+	}
+	for _, e := range edges {
+		ab := (e.Src == "a" && e.Tgt == "b") || (e.Src == "b" && e.Tgt == "a")
+		if !ab {
+			t.Fatalf("screening kept %s->%s; the coupled pair a<->b should outrank noise", e.Src, e.Tgt)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Screen() != s {
+		t.Fatalf("screen summary lost in Save/Load: %+v vs %+v", loaded.Screen(), s)
+	}
+}
+
+// TestTrainScreenedDeterministic: same data and seed must select the same
+// pairs and produce bit-identical edges regardless of worker count.
+func TestTrainScreenedDeterministic(t *testing.T) {
+	train, dev := screenTestSplits(t, 42)
+	run := func(workers int) *Model {
+		cfg := tinyTestConfig()
+		cfg.Screen.TopK = 3
+		cfg.Workers = workers
+		fw, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := fw.Train(context.Background(), train, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1, m3 := run(1), run(3)
+	e1 := m1.Graph().Edges()
+	if len(e1) != m3.Graph().NumEdges() {
+		t.Fatalf("edge counts differ across worker counts: %d vs %d", len(e1), m3.Graph().NumEdges())
+	}
+	for _, e := range e1 {
+		s, ok := m3.Graph().Score(e.Src, e.Tgt)
+		if !ok || s != e.Score { // exact float equality: bit-identical
+			t.Fatalf("edge %s->%s: workers=3 %v, workers=1 %v", e.Src, e.Tgt, s, e.Score)
+		}
+	}
+}
+
+// TestTrainScreenedRejectsEmptySelection: a threshold no pair can reach must
+// fail loudly at training time, not produce an empty model.
+func TestTrainScreenedRejectsEmptySelection(t *testing.T) {
+	train, dev := screenTestSplits(t, 42)
+	cfg := tinyTestConfig()
+	cfg.Screen.Threshold = 0.999 // noisy coupling never scores this high
+	fw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fw.Train(context.Background(), train, dev)
+	if err == nil || !strings.Contains(err.Error(), "selected 0") {
+		t.Fatalf("err = %v, want screening selected 0 error", err)
+	}
+}
+
+// TestTrainScreenedResumeFromUnscreenedJournal: a journal written by a full
+// (unscreened) run, resumed with screening on, must restore only the
+// journaled pairs inside the screened set and silently skip the rest —
+// out-of-set records are stale work, not corruption.
+func TestTrainScreenedResumeFromUnscreenedJournal(t *testing.T) {
+	train, dev := screenTestSplits(t, 42)
+	ctx := context.Background()
+
+	fullCfg := tinyTestConfig()
+	fullFw, err := New(fullCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "full.journal")
+	if _, err := fullFw.TrainWithOptions(ctx, train, dev, TrainOptions{Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume the 6-pair journal with a 2-pair screen: everything selected is
+	// already journaled, so nothing retrains and 4 records are ignored.
+	screenCfg := tinyTestConfig()
+	screenCfg.Screen.TopK = 2
+	screenFw, err := New(screenCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last TrainProgress
+	m, err := screenFw.TrainWithOptions(ctx, train, dev, TrainOptions{
+		Checkpoint: ckpt, Resume: true,
+		Progress: func(p TrainProgress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Resumed != 2 || last.Done != 2 || last.Total != 2 {
+		t.Fatalf("progress %+v, want 2 resumed / 2 done / 2 total", last)
+	}
+	if m.Graph().NumEdges() != 2 {
+		t.Fatalf("resumed screened model has %d edges, want 2", m.Graph().NumEdges())
+	}
+}
+
+// TestTrainScreenedResumeAfterGrowingTopK: deterministic ranking means a
+// larger K selects a superset, so resuming a K=2 journal with K=4 restores
+// the 2 finished pairs and trains only the 2 new ones.
+func TestTrainScreenedResumeAfterGrowingTopK(t *testing.T) {
+	train, dev := screenTestSplits(t, 42)
+	ctx := context.Background()
+
+	smallCfg := tinyTestConfig()
+	smallCfg.Screen.TopK = 2
+	smallFw, err := New(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "screen.journal")
+	if _, err := smallFw.TrainWithOptions(ctx, train, dev, TrainOptions{Checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+
+	bigCfg := tinyTestConfig()
+	bigCfg.Screen.TopK = 4
+	bigFw, err := New(bigCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last TrainProgress
+	m, err := bigFw.TrainWithOptions(ctx, train, dev, TrainOptions{
+		Checkpoint: ckpt, Resume: true,
+		Progress: func(p TrainProgress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Resumed != 2 {
+		t.Fatalf("resumed %d pairs, want the 2 finished under K=2 (progress %+v)", last.Resumed, last)
+	}
+	if last.Total != 4 || last.Done != 4 {
+		t.Fatalf("progress %d/%d, want 4/4 after growing K", last.Done, last.Total)
+	}
+	if s := m.Screen(); s.Selected != 4 || s.Skipped != 2 {
+		t.Fatalf("screen summary = %+v, want 4 selected / 2 skipped", s)
+	}
+}
