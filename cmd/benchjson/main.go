@@ -25,6 +25,7 @@ import (
 type event struct {
 	Action  string `json:"Action"`
 	Package string `json:"Package"`
+	Test    string `json:"Test"`
 	Output  string `json:"Output"`
 }
 
@@ -36,6 +37,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric pairs (e.g. "ns/sentence",
+	// "jobs/batch", "model_bytes") keyed by their unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -56,6 +60,11 @@ func main() {
 // by package then name so the output is diff-stable across runs.
 func parse(r io.Reader) ([]Result, error) {
 	var results []Result
+	// test2json may split one benchmark result line over several Output
+	// events (the name flushes before the run, the numbers after), so
+	// fragments are buffered per package/test until a newline completes
+	// them.
+	partial := make(map[string]string)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -75,8 +84,17 @@ func parse(r io.Reader) ([]Result, error) {
 		if ev.Action != "output" {
 			continue
 		}
-		if res, ok := parseBenchLine(ev.Package, ev.Output); ok {
-			results = append(results, res)
+		key := ev.Package + "\x00" + ev.Test
+		out := partial[key] + ev.Output
+		if !strings.HasSuffix(out, "\n") {
+			partial[key] = out
+			continue
+		}
+		delete(partial, key)
+		for _, ln := range strings.Split(out, "\n") {
+			if res, ok := parseBenchLine(ev.Package, ln); ok {
+				results = append(results, res)
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -128,7 +146,25 @@ func parseBenchLine(pkg, line string) (Result, bool) {
 				return Result{}, false
 			}
 			res.AllocsPerOp = n
+		default:
+			// Custom ReportMetric pairs: any "value unit" column we don't
+			// recognise, as long as the value is numeric and the unit looks
+			// like one (starts with a letter — guards against stray words in
+			// malformed lines).
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || unit == "" || !isUnitStart(rune(unit[0])) {
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = f
+			seen = true
 		}
 	}
 	return res, seen
+}
+
+func isUnitStart(r rune) bool {
+	return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
 }

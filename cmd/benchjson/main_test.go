@@ -76,3 +76,55 @@ func TestParsePlainTextFallback(t *testing.T) {
 		t.Fatalf("plain-text fallback wrong: %+v", results)
 	}
 }
+
+// TestParseSplitOutputEvents covers test2json splitting one benchmark result
+// line across several Output events (the name flushes before the run, the
+// numbers after): fragments must be reassembled per package/test before
+// parsing.
+func TestParseSplitOutputEvents(t *testing.T) {
+	split := `{"Action":"output","Package":"p","Test":"BenchmarkA","Output":"BenchmarkA \t"}
+{"Action":"output","Package":"q","Test":"BenchmarkB","Output":"BenchmarkB  \t"}
+{"Action":"output","Package":"p","Test":"BenchmarkA","Output":"      28\t  79875241 ns/op\t   1248050 ns/sentence\t  621150 B/op\t   12920 allocs/op\n"}
+{"Action":"output","Package":"q","Test":"BenchmarkB","Output":"     220\t  10804046 ns/op\t       0 B/op\t       0 allocs/op\n"}
+`
+	results, err := parse(strings.NewReader(split))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+	a := results[0]
+	if a.Name != "BenchmarkA" || a.Iterations != 28 || a.NsPerOp != 79875241 ||
+		a.Metrics["ns/sentence"] != 1248050 || a.AllocsPerOp != 12920 {
+		t.Fatalf("reassembled result wrong: %+v", a)
+	}
+	if results[1].Name != "BenchmarkB" || results[1].Iterations != 220 {
+		t.Fatalf("interleaved result wrong: %+v", results[1])
+	}
+}
+
+// TestParseCustomMetrics covers b.ReportMetric columns: unknown "value unit"
+// pairs land in the Metrics map keyed by unit.
+func TestParseCustomMetrics(t *testing.T) {
+	line := "BenchmarkScoreBatch/int8-8  \t  14\t 227419415 ns/op\t 227419 ns/sentence\t 6.2 jobs/batch\t 0 B/op\t 0 allocs/op"
+	res, ok := parseBenchLine("mdes/internal/infer", line)
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if res.NsPerOp != 227419415 || res.AllocsPerOp != 0 {
+		t.Fatalf("standard metrics wrong: %+v", res)
+	}
+	if res.Metrics["ns/sentence"] != 227419 || res.Metrics["jobs/batch"] != 6.2 {
+		t.Fatalf("custom metrics wrong: %v", res.Metrics)
+	}
+	if len(res.Metrics) != 2 {
+		t.Fatalf("unexpected extra metrics: %v", res.Metrics)
+	}
+
+	// A line with only a custom metric still counts as a result.
+	res, ok = parseBenchLine("p", "BenchmarkX-8  10  42 widgets/op")
+	if !ok || res.Metrics["widgets/op"] != 42 {
+		t.Fatalf("custom-only line: ok=%v %+v", ok, res)
+	}
+}

@@ -14,11 +14,16 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"io"
+	"math"
+	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -96,6 +101,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
+	// Snapshot the server's per-call scoring histogram so the run's own
+	// scoring latency distribution can be diffed out afterwards.
+	scoreBefore, scoreErr := scrapeScoreHist(ctx, *addr)
+
 	results := make([]tenantResult, *tenants)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -165,6 +174,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond), len(all))
 
+	// Per-tick scoring latency: the server-side distribution of one pairwise
+	// scoring call, diffed across the run so concurrent scrapers and earlier
+	// traffic don't pollute it.
+	var scoreAfter histSnapshot
+	if scoreErr == nil {
+		scoreAfter, scoreErr = scrapeScoreHist(ctx, *addr)
+	}
+	if scoreErr != nil {
+		fmt.Fprintf(stderr, "loadgen: scoring latency unavailable: %v\n", scoreErr)
+	} else if d, ok := scoreAfter.diff(scoreBefore); ok {
+		fmt.Fprintf(stderr, "loadgen: scoring latency p50=%s p95=%s p99=%s over %d calls\n",
+			d.quantile(0.50).Round(time.Microsecond), d.quantile(0.95).Round(time.Microsecond),
+			d.quantile(0.99).Round(time.Microsecond), d.count)
+		fmt.Fprintf(stdout, "BenchmarkScoreCallP50 %d %d ns/op\n", d.count, d.quantile(0.50).Nanoseconds())
+		fmt.Fprintf(stdout, "BenchmarkScoreCallP95 %d %d ns/op\n", d.count, d.quantile(0.95).Nanoseconds())
+		fmt.Fprintf(stdout, "BenchmarkScoreCallP99 %d %d ns/op\n", d.count, d.quantile(0.99).Nanoseconds())
+	}
+
 	// Benchmark-format lines for the benchjson pipeline. "ns/op" is per tick
 	// for throughput and per request for the latency percentiles.
 	if sumTicks > 0 {
@@ -177,4 +204,116 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "BenchmarkServeRequestP99 %d %d ns/op\n", len(all), pct(0.99).Nanoseconds())
 	}
 	return nil
+}
+
+// scoreHistName is the serve-side per-call scoring latency histogram.
+const scoreHistName = "mdes_serve_score_latency_seconds"
+
+// histSnapshot is a cumulative Prometheus histogram at one scrape: ascending
+// upper bounds (seconds; +Inf last) with cumulative counts.
+type histSnapshot struct {
+	bounds []float64
+	cum    []int64
+	count  int64
+}
+
+// scrapeScoreHist fetches /metrics and extracts the scoring histogram.
+func scrapeScoreHist(ctx context.Context, addr string) (histSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(addr, "/")+"/metrics", nil)
+	if err != nil {
+		return histSnapshot{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return histSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return histSnapshot{}, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	var h histSnapshot
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, scoreHistName+`_bucket{le="`):
+			rest := line[len(scoreHistName)+12:] // past `_bucket{le="`
+			endq := strings.IndexByte(rest, '"')
+			sp := strings.LastIndexByte(rest, ' ')
+			if endq < 0 || sp < endq {
+				continue
+			}
+			var bound float64
+			if leStr := rest[:endq]; leStr == "+Inf" {
+				bound = math.Inf(1)
+			} else if bound, err = strconv.ParseFloat(leStr, 64); err != nil {
+				continue
+			}
+			n, err := strconv.ParseInt(rest[sp+1:], 10, 64)
+			if err != nil {
+				continue
+			}
+			h.bounds = append(h.bounds, bound)
+			h.cum = append(h.cum, n)
+		case strings.HasPrefix(line, scoreHistName+"_count "):
+			h.count, _ = strconv.ParseInt(strings.TrimPrefix(line, scoreHistName+"_count "), 10, 64)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return histSnapshot{}, err
+	}
+	if len(h.bounds) == 0 {
+		return histSnapshot{}, fmt.Errorf("no %s buckets in /metrics", scoreHistName)
+	}
+	return h, nil
+}
+
+// diff subtracts an earlier snapshot, isolating this run's observations.
+// ok is false when the shapes disagree or nothing was observed in between.
+func (h histSnapshot) diff(before histSnapshot) (histSnapshot, bool) {
+	if len(h.bounds) != len(before.bounds) {
+		return histSnapshot{}, false
+	}
+	d := histSnapshot{
+		bounds: h.bounds,
+		cum:    make([]int64, len(h.cum)),
+		count:  h.count - before.count,
+	}
+	for i := range h.cum {
+		d.cum[i] = h.cum[i] - before.cum[i]
+	}
+	return d, d.count > 0
+}
+
+// quantile estimates the q-quantile by linear interpolation inside the
+// containing bucket (the histogram_quantile convention). Observations in the
+// +Inf bucket clamp to the largest finite bound.
+func (h histSnapshot) quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	for i, c := range h.cum {
+		if float64(c) < rank {
+			continue
+		}
+		hi := h.bounds[i]
+		if math.IsInf(hi, 1) {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(h.bounds[i-1] * 1e9)
+		}
+		lo, below := 0.0, int64(0)
+		if i > 0 {
+			lo, below = h.bounds[i-1], h.cum[i-1]
+		}
+		width := float64(c - below)
+		frac := 1.0
+		if width > 0 {
+			frac = (rank - float64(below)) / width
+		}
+		return time.Duration((lo + (hi-lo)*frac) * 1e9)
+	}
+	return time.Duration(h.bounds[len(h.bounds)-1] * 1e9)
 }

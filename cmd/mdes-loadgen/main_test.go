@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestScrapeScoreHist exercises the /metrics parser against the exact
+// rendering the serve package's histogram.write produces.
+func TestScrapeScoreHist(t *testing.T) {
+	body := "# HELP mdes_serve_score_latency_seconds pairwise scoring latency\n" +
+		"# TYPE mdes_serve_score_latency_seconds histogram\n" +
+		"mdes_serve_score_latency_seconds_bucket{le=\"0.0005\"} 10\n" +
+		"mdes_serve_score_latency_seconds_bucket{le=\"0.001\"} 30\n" +
+		"mdes_serve_score_latency_seconds_bucket{le=\"+Inf\"} 40\n" +
+		"mdes_serve_score_latency_seconds_sum 0.05\n" +
+		"mdes_serve_score_latency_seconds_count 40\n"
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, body)
+	}))
+	defer srv.Close()
+
+	h, err := scrapeScoreHist(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.bounds) != 3 || h.count != 40 {
+		t.Fatalf("got %d buckets, count %d", len(h.bounds), h.count)
+	}
+	if h.bounds[0] != 0.0005 || !math.IsInf(h.bounds[2], 1) {
+		t.Fatalf("bounds = %v", h.bounds)
+	}
+	if h.cum[1] != 30 {
+		t.Fatalf("cum = %v", h.cum)
+	}
+}
+
+func TestHistSnapshotDiffQuantile(t *testing.T) {
+	before := histSnapshot{
+		bounds: []float64{0.001, 0.01, math.Inf(1)},
+		cum:    []int64{5, 5, 5},
+		count:  5,
+	}
+	after := histSnapshot{
+		bounds: []float64{0.001, 0.01, math.Inf(1)},
+		cum:    []int64{55, 105, 105},
+		count:  105,
+	}
+	d, ok := after.diff(before)
+	if !ok || d.count != 100 {
+		t.Fatalf("diff: ok=%v count=%d", ok, d.count)
+	}
+	// 50 observations ≤1ms, the next 50 in (1ms, 10ms]: the median sits at
+	// the first bucket's upper bound, p75 halfway into the second.
+	if got := d.quantile(0.50); got != time.Millisecond {
+		t.Fatalf("p50 = %s, want 1ms", got)
+	}
+	if got, want := d.quantile(0.75), 5500*time.Microsecond; got != want {
+		t.Fatalf("p75 = %s, want %s", got, want)
+	}
+
+	// All mass in +Inf clamps to the largest finite bound.
+	tail := histSnapshot{
+		bounds: []float64{0.001, 0.01, math.Inf(1)},
+		cum:    []int64{0, 0, 4},
+		count:  4,
+	}
+	if got := tail.quantile(0.50); got != 10*time.Millisecond {
+		t.Fatalf("+Inf clamp = %s, want 10ms", got)
+	}
+
+	// No observations between scrapes → not ok.
+	if _, ok := before.diff(before); ok {
+		t.Fatal("zero diff reported ok")
+	}
+	// Shape mismatch → not ok.
+	if _, ok := after.diff(histSnapshot{bounds: []float64{1}, cum: []int64{1}}); ok {
+		t.Fatal("shape mismatch reported ok")
+	}
+}

@@ -95,6 +95,9 @@ func run(args []string, logw io.Writer) error {
 	maxSessions := fs.Int("max-sessions", 4096, "resident session cap; LRU beyond it (0 = unlimited)")
 	maxInflight := fs.Int("max-inflight", 0, "concurrent tick requests before 429 (0 = 2x GOMAXPROCS)")
 	scoreWorkers := fs.Int("score-workers", 0, "pairwise scoring pool size (0 = GOMAXPROCS)")
+	scorePrecision := fs.String("score-precision", "", "scoring precision: f64 (reference), f32, or int8 (batched reduced-precision inference); empty keeps each model's saved precision")
+	scoreBatch := fs.Int("score-batch", 0, "max scoring jobs fused per batched GEMM call at reduced precision (0 = 64, 1 = no batching)")
+	scoreLinger := fs.Duration("score-linger", 0, "how long a short batch may wait for more same-model jobs (0 = fuse only already-queued work)")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	scoreDeadline := fs.Duration("score-deadline", 0, "answer ticks degraded (last valid score + degraded=true) when a window cannot be scored within this budget (0 = strict)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
@@ -105,6 +108,17 @@ func run(args []string, logw io.Writer) error {
 	loaded, err := parseModels(models)
 	if err != nil {
 		return err
+	}
+	if *scorePrecision != "" {
+		prec, err := mdes.ParsePrecision(*scorePrecision)
+		if err != nil {
+			return err
+		}
+		for name, model := range loaded {
+			if err := model.Quantize(prec); err != nil {
+				return fmt.Errorf("model %q: %w", name, err)
+			}
+		}
 	}
 	if *snapshots != "" {
 		if err := os.MkdirAll(*snapshots, 0o755); err != nil {
@@ -119,6 +133,8 @@ func run(args []string, logw io.Writer) error {
 		MaxSessions:   *maxSessions,
 		MaxInflight:   *maxInflight,
 		ScoreWorkers:  *scoreWorkers,
+		ScoreBatchMax: *scoreBatch,
+		ScoreLinger:   *scoreLinger,
 		RetryAfter:    *retryAfter,
 		ScoreDeadline: *scoreDeadline,
 	})

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -119,5 +120,17 @@ func TestParseModelsErrors(t *testing.T) {
 	}
 	if _, err := parseModels([]string{"b=" + bad}); err == nil || !strings.Contains(err.Error(), `model "b"`) {
 		t.Fatalf("garbage model: %v", err)
+	}
+}
+
+// TestScorePrecisionFlag checks the -score-precision wiring: an invalid value
+// fails fast, before any listener binds.
+func TestScorePrecisionFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "toy.json")
+	saveToyModel(t, path)
+	err := run([]string{"-model", path, "-score-precision", "f16"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown precision") {
+		t.Fatalf("err = %v, want unknown precision", err)
 	}
 }

@@ -38,6 +38,7 @@ var Packages = []string{
 	"internal/nmt",
 	"internal/nn",
 	"internal/mat",
+	"internal/infer",
 	"internal/bleu",
 	"internal/anomaly",
 	"internal/pairmine",

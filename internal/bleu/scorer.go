@@ -1,0 +1,72 @@
+package bleu
+
+// Scorer computes smoothed sentence BLEU over integer token sequences with
+// reusable scratch: the per-order n-gram count maps survive between calls
+// (cleared, not reallocated), so steady-state scoring allocates nothing.
+// This is the scorer the batched inference engine (internal/infer) runs per
+// decoded sentence — at GEMM-batch throughput the per-call map and string
+// garbage of SentenceIDs would dominate the profile.
+//
+// A Scorer is not safe for concurrent use; pool one per worker.
+type Scorer struct {
+	hyp map[ngramKey]int
+	ref map[ngramKey]int
+}
+
+// ngramKey packs one n-gram (n ≤ MaxOrder) as a fixed-size array so map
+// operations never allocate. Maps are per-order and cleared between orders,
+// so padding positions beyond n cannot collide across orders; within an
+// order all keys have the same shape. Token values are unrestricted ints —
+// masked references use negative sentinels (see nmt.maskRefUnknowns) and
+// they hash fine.
+type ngramKey [MaxOrder]int
+
+// NewScorer returns a Scorer with warm scratch maps.
+func NewScorer() *Scorer {
+	return &Scorer{
+		hyp: make(map[ngramKey]int, 64),
+		ref: make(map[ngramKey]int, 64),
+	}
+}
+
+// SentenceIDs returns exactly what the package-level SentenceIDs returns for
+// the same inputs (scorer_test.go pins the equivalence), without allocating.
+//
+//mdes:noalloc
+func (s *Scorer) SentenceIDs(ref, hyp []int, maxN int, smoothing Smoothing) float64 {
+	if len(ref) == 0 || len(hyp) == 0 {
+		return 0
+	}
+	maxN = clampOrder(maxN)
+	var matches, totals [MaxOrder]float64
+	for n := 1; n <= maxN; n++ {
+		if len(hyp) < n {
+			continue
+		}
+		countInto(s.hyp, hyp, n)
+		countInto(s.ref, ref, n)
+		totals[n-1] = float64(len(hyp) - n + 1)
+		for g, c := range s.hyp {
+			rc := s.ref[g]
+			if c < rc {
+				rc = c
+			}
+			matches[n-1] += float64(rc)
+		}
+	}
+	return combine(matches[:maxN], totals[:maxN], len(ref), len(hyp), smoothing)
+}
+
+// countInto clears m and counts the n-grams of tokens into it.
+//
+//mdes:noalloc
+func countInto(m map[ngramKey]int, tokens []int, n int) {
+	clear(m)
+	var key ngramKey
+	for i := 0; i+n <= len(tokens); i++ {
+		for j := 0; j < n; j++ {
+			key[j] = tokens[i+j]
+		}
+		m[key]++
+	}
+}

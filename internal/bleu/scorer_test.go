@@ -1,0 +1,91 @@
+package bleu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestScorerMatchesSentenceIDs pins bit-identical agreement between the
+// alloc-free Scorer and the string-based reference on random sequences,
+// including the negative sentinel tokens masked references use.
+func TestScorerMatchesSentenceIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := NewScorer()
+	smoothings := []Smoothing{SmoothNone, SmoothAddOne, SmoothEpsilon}
+	for trial := 0; trial < 500; trial++ {
+		ref := randIntTokens(rng, rng.Intn(12))
+		hyp := randIntTokens(rng, rng.Intn(12))
+		maxN := rng.Intn(6) // exercises clamping on 0 and 5
+		sm := smoothings[rng.Intn(len(smoothings))]
+		want := SentenceIDs(ref, hyp, maxN, sm)
+		got := s.SentenceIDs(ref, hyp, maxN, sm)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("trial %d: Scorer %v != SentenceIDs %v (ref=%v hyp=%v maxN=%d sm=%d)",
+				trial, got, want, ref, hyp, maxN, sm)
+		}
+	}
+}
+
+func randIntTokens(rng *rand.Rand, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		// Small alphabet forces n-gram repeats; occasional negatives mimic
+		// masked-unknown sentinels.
+		out[i] = rng.Intn(6)
+		if rng.Intn(8) == 0 {
+			out[i] = -(rng.Intn(10) + 1)
+		}
+	}
+	return out
+}
+
+func TestScorerIdenticalSentence(t *testing.T) {
+	s := NewScorer()
+	toks := []int{3, 4, 5, 6, 7, 8}
+	if got := s.SentenceIDs(toks, toks, MaxOrder, SmoothAddOne); got != 100 {
+		t.Fatalf("perfect match scored %v, want 100", got)
+	}
+	if got := s.SentenceIDs(nil, toks, MaxOrder, SmoothAddOne); got != 0 {
+		t.Fatalf("empty ref scored %v", got)
+	}
+	if got := s.SentenceIDs(toks, nil, MaxOrder, SmoothAddOne); got != 0 {
+		t.Fatalf("empty hyp scored %v", got)
+	}
+}
+
+// TestScorerSteadyStateAllocs pins the property the batched scoring loop
+// depends on: after warmup, scoring allocates nothing.
+func TestScorerSteadyStateAllocs(t *testing.T) {
+	s := NewScorer()
+	ref := []int{3, 4, 5, 6, 3, 4, 7, 8}
+	hyp := []int{3, 4, 5, 6, 3, 4}
+	s.SentenceIDs(ref, hyp, MaxOrder, SmoothAddOne) // warm the maps
+	allocs := testing.AllocsPerRun(200, func() {
+		s.SentenceIDs(ref, hyp, MaxOrder, SmoothAddOne)
+	})
+	if allocs != 0 {
+		t.Fatalf("Scorer.SentenceIDs allocates %v/op, want 0", allocs)
+	}
+}
+
+func BenchmarkScorerSentence(b *testing.B) {
+	s := NewScorer()
+	ref := []int{3, 4, 5, 6, 3, 4, 7, 8}
+	hyp := []int{3, 4, 5, 6, 3, 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SentenceIDs(ref, hyp, MaxOrder, SmoothAddOne)
+	}
+}
+
+func BenchmarkSentenceIDsString(b *testing.B) {
+	ref := []int{3, 4, 5, 6, 3, 4, 7, 8}
+	hyp := []int{3, 4, 5, 6, 3, 9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SentenceIDs(ref, hyp, MaxOrder, SmoothAddOne)
+	}
+}

@@ -25,10 +25,10 @@ type Scale struct {
 	Name string
 
 	// Plant case study.
-	Plant           plantgen.Config
-	PlantSubset     int // sensors carried into pairwise training
-	PlantLang       mdes.LanguageConfig
-	PlantNMT        mdes.NMTConfig
+	Plant       plantgen.Config
+	PlantSubset int // sensors carried into pairwise training
+	PlantLang   mdes.LanguageConfig
+	PlantNMT    mdes.NMTConfig
 	// Screen, when enabled, restricts NMT training to the top candidate
 	// pairs (used by ScreenScale; zero for the exhaustive paper sweep).
 	Screen          mdes.ScreenConfig

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"mdes"
+)
+
+// TestQuantizedDetectionParity is the BLEU-ranking-stability gate for the
+// reduced-precision inference engine: on the quick plant trajectory, the
+// float32 and int8 scoring paths must flag exactly the days the float64
+// reference flags (same per-day midpoint thresholding as the screening
+// parity test), and both must still catch the ground-truth anomalies inside
+// the test horizon.
+func TestQuantizedDetectionParity(t *testing.T) {
+	art, err := QuickPlant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFlags := flaggedDays(art.DayScores(art.Points))
+	if len(refFlags) == 0 {
+		t.Fatal("float64 run flagged no days")
+	}
+
+	// QuickPlant artifacts are memoised and shared; restore the reference
+	// precision for whatever test runs next.
+	defer art.Model.Quantize(mdes.PrecisionF64)
+
+	for _, prec := range []mdes.Precision{mdes.PrecisionF32, mdes.PrecisionInt8} {
+		t.Run(prec.String(), func(t *testing.T) {
+			if err := art.Model.Quantize(prec); err != nil {
+				t.Fatal(err)
+			}
+			points, err := art.Model.Detect(context.Background(), art.Tst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(points) != len(art.Points) {
+				t.Fatalf("quantized run emitted %d points, float64 %d", len(points), len(art.Points))
+			}
+			qFlags := flaggedDays(art.DayScores(points))
+			for d := range refFlags {
+				if !qFlags[d] {
+					t.Errorf("day %d flagged by float64 but not by %s", d, prec)
+				}
+			}
+			for d := range qFlags {
+				if !refFlags[d] {
+					t.Errorf("day %d flagged by %s but not by float64", d, prec)
+				}
+			}
+			for _, d := range art.GT.AnomalyDays {
+				if d >= art.TestStartDay && !qFlags[d] {
+					t.Errorf("%s run missed ground-truth anomaly day %d", prec, d)
+				}
+			}
+		})
+	}
+}

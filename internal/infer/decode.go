@@ -1,0 +1,359 @@
+package infer
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mdes/internal/bleu"
+	"mdes/internal/mat"
+	"mdes/internal/nmt"
+	"mdes/internal/nn"
+)
+
+// transCacheCap mirrors the float64 model's cache bound: when full, the whole
+// map is dropped (cheap, and repeat-heavy event languages re-warm instantly).
+const transCacheCap = 4096
+
+// transKey packs a token sequence into a map key (same varint scheme as the
+// training model's cache). It allocates — the cache path trades allocations
+// for skipped decodes; the alloc-free guarantee covers cache-off scoring.
+func transKey(toks []int) string {
+	var tmp [binary.MaxVarintLen64]byte
+	buf := make([]byte, 0, 2*len(toks))
+	for _, t := range toks {
+		n := binary.PutVarint(tmp[:], int64(t))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+// ScoreBatch scores n sentences against this pair model: out[i] is the
+// smoothed sentence BLEU of the greedy translation of srcs[i] against
+// refs[i] — batched f(i,j) of Algorithm 2. Sentences of equal source length
+// are decoded together through GEMM kernels; because every kernel is
+// row-independent, each score is bit-identical to ScoreSentence on the same
+// input. Safe for concurrent use.
+func (m *Model) ScoreBatch(srcs, refs [][]int, out []float64) {
+	if len(refs) != len(srcs) || len(out) != len(srcs) {
+		panic(fmt.Sprintf("infer: ScoreBatch length mismatch: %d srcs, %d refs, %d out",
+			len(srcs), len(refs), len(out)))
+	}
+	if len(srcs) == 0 {
+		return
+	}
+	w := m.getWS()
+	defer m.putWS(w)
+	m.scoreBatch(w, srcs, refs, out)
+}
+
+// ScoreSentence scores one sentence (a batch of one).
+func (m *Model) ScoreSentence(src, ref []int) float64 {
+	w := m.getWS()
+	defer m.putWS(w)
+	w.src1[0], w.ref1[0] = src, ref
+	m.scoreBatch(w, w.src1[:], w.ref1[:], w.out1[:])
+	return w.out1[0]
+}
+
+// Translate greedily decodes one source sentence, returning target token ids
+// (no BOS/EOS) in a fresh slice the caller may keep. Matches the float64
+// model's Translate up to precision.
+func (m *Model) Translate(src []int) []int {
+	if len(src) == 0 {
+		return nil
+	}
+	w := m.getWS()
+	defer m.putWS(w)
+	w.src1[0] = src
+	w.hyps = resizeOuterInts(w.hyps, 1)
+	group := w.intsBuf(1)
+	m.translateGroup(w, w.src1[:], group, w.hyps)
+	return append([]int(nil), w.hyps[0]...)
+}
+
+// scoreBatch is ScoreBatch on a caller-held workspace.
+//
+//mdes:noalloc
+func (m *Model) scoreBatch(w *ws, srcs, refs [][]int, out []float64) {
+	n := len(srcs)
+	// Group sentences by source length: each equal-length run decodes as one
+	// rectangular GEMM batch. Insertion sort on indices is stable (original
+	// order within a run), alloc-free, and cheap at serving batch sizes.
+	idx := w.intsBuf(n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && len(srcs[idx[j-1]]) > len(srcs[idx[j]]); j-- {
+			idx[j-1], idx[j] = idx[j], idx[j-1]
+		}
+	}
+	w.hyps = resizeOuterInts(w.hyps, n)
+	hyps := w.hyps
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		l := len(srcs[idx[lo]])
+		for hi < n && len(srcs[idx[hi]]) == l {
+			hi++
+		}
+		if l > 0 {
+			// Empty sources translate to nothing; their hyps stay nil.
+			m.translateGroup(w, srcs, idx[lo:hi], hyps)
+		}
+		lo = hi
+	}
+	for i := range out {
+		out[i] = m.scoreOne(w, refs[i], hyps[i])
+	}
+}
+
+// translateGroup fills hyps[i] for every i in group (all sources the same
+// nonzero length), consulting the translation cache around one batched
+// decode. Cached hypotheses are cache-owned; decoded ones live in the
+// workspace until reset. Either way they are read-only for the caller.
+func (m *Model) translateGroup(w *ws, srcs [][]int, group []int, hyps [][]int) {
+	miss := group
+	m.transMu.Lock()
+	cacheOn := !m.transOff
+	if cacheOn {
+		miss = w.intsBuf(len(group))[:0]
+		for _, i := range group {
+			if hyp, ok := m.trans[transKey(srcs[i])]; ok {
+				hyps[i] = hyp
+			} else {
+				miss = append(miss, i)
+			}
+		}
+	}
+	m.transMu.Unlock()
+	if len(miss) == 0 {
+		return
+	}
+	m.decodeGroup(w, srcs, miss, hyps)
+	if !cacheOn {
+		return
+	}
+	m.transMu.Lock()
+	if !m.transOff {
+		for _, i := range miss {
+			if len(m.trans) >= transCacheCap {
+				m.trans = nil
+			}
+			if m.trans == nil {
+				m.trans = make(map[string][]int, transCacheCap/4)
+			}
+			m.trans[transKey(srcs[i])] = append([]int(nil), hyps[i]...)
+		}
+	}
+	m.transMu.Unlock()
+}
+
+// decodeGroup greedily decodes a batch of equal-length sources in lockstep:
+// one GEMM per weight per step instead of one GEMV per sentence per step.
+// Output row b of every kernel depends only on input row b, so each
+// hypothesis is exactly what a batch of one would produce.
+//
+//mdes:noalloc
+func (m *Model) decodeGroup(w *ws, srcs [][]int, group []int, hyps [][]int) {
+	bN := len(group)
+	sN := len(srcs[group[0]])
+	h, layers := m.cfg.Hidden, m.cfg.Layers
+	maxLen := m.cfg.MaxDecodeLen
+
+	x := w.matrix(bN, m.cfg.Embed) // current-step input embeddings
+	g := w.matrix(bN, 4*h)         // packed LSTM gate activations
+	w.states(layers, bN, h)
+
+	// Encoder: top-layer hidden per (sentence, source position), laid out so
+	// sentence b's positions are the contiguous rows [b*sN, (b+1)*sN).
+	encTop := w.matrix(bN*sN, h)
+	for s := 0; s < sN; s++ {
+		for b, i := range group {
+			copy(x.Row(b), m.srcEmb.Row(m.clampSrc(srcs[i][s])))
+		}
+		m.stepStack(w, x, m.enc, g)
+		top := w.hs[layers-1]
+		for b := 0; b < bN; b++ {
+			copy(encTop.Row(b*sN+s), top.Row(b))
+		}
+	}
+
+	// General attention scores h·(Wa·ē_s); Wa·ē_s is decode-invariant, so
+	// project the whole encoding once.
+	var waEnc *mat.Matrix32
+	if m.kind == nn.AttentionGeneral {
+		waEnc = w.matrix(bN*sN, h)
+		m.mulInto(w, waEnc, encTop, &m.wa, false)
+	}
+	var pair, pre *mat.Matrix32
+	if m.kind == nn.AttentionConcat {
+		pair = w.matrix(bN*sN, 2*h)
+		pre = w.matrix(bN*sN, h)
+	}
+
+	// The decoder starts from the encoder's final state and the encoder never
+	// steps again, so w.hs/w.cs carry over in place.
+	scores := w.matrix(bN, sN)
+	ctx := w.matrix(bN, h)
+	cat := w.matrix(bN, 2*h)
+	htl := w.matrix(bN, h)
+	logits := w.matrix(bN, m.cfg.TgtVocab)
+
+	tok := w.intsBuf(bN)
+	done := w.intsBuf(bN)
+	lens := w.intsBuf(bN)
+	outTok := w.intsBuf(bN * maxLen)
+	for b := range tok {
+		tok[b] = nmt.BosID
+	}
+	remaining := bN
+	for t := 0; t < maxLen && remaining > 0; t++ {
+		// Finished rows keep stepping with their last token so the batch
+		// stays rectangular; their outputs are ignored below.
+		for b := range tok {
+			copy(x.Row(b), m.tgtEmb.Row(m.clampTgt(tok[b])))
+		}
+		m.stepStack(w, x, m.dec, g)
+		hTop := w.hs[layers-1]
+
+		// Attention scores against every source position.
+		switch m.kind {
+		case nn.AttentionDot:
+			for b := 0; b < bN; b++ {
+				hb := hTop.Row(b)
+				sc := scores.Row(b)
+				for s := 0; s < sN; s++ {
+					sc[s] = mat.Dot32(hb, encTop.Row(b*sN+s))
+				}
+			}
+		case nn.AttentionConcat:
+			for b := 0; b < bN; b++ {
+				hb := hTop.Row(b)
+				for s := 0; s < sN; s++ {
+					pr := pair.Row(b*sN + s)
+					copy(pr[:h], hb)
+					copy(pr[h:], encTop.Row(b*sN+s))
+				}
+			}
+			m.mulInto(w, pre, pair, &m.wa, false)
+			mat.Tanh32(pre.Data)
+			for b := 0; b < bN; b++ {
+				sc := scores.Row(b)
+				for s := 0; s < sN; s++ {
+					sc[s] = mat.Dot32(m.va, pre.Row(b*sN+s))
+				}
+			}
+		default: // nn.AttentionGeneral
+			for b := 0; b < bN; b++ {
+				hb := hTop.Row(b)
+				sc := scores.Row(b)
+				for s := 0; s < sN; s++ {
+					sc[s] = mat.Dot32(hb, waEnc.Row(b*sN+s))
+				}
+			}
+		}
+
+		// Context, combine, output logits.
+		for b := 0; b < bN; b++ {
+			sc := scores.Row(b)
+			mat.Softmax32(sc, sc)
+			cr := ctx.Row(b)
+			for j := range cr {
+				cr[j] = 0
+			}
+			for s := 0; s < sN; s++ {
+				mat.Axpy32(sc[s], encTop.Row(b*sN+s), cr)
+			}
+			cc := cat.Row(b)
+			copy(cc[:h], cr)
+			copy(cc[h:], hTop.Row(b))
+		}
+		m.mulInto(w, htl, cat, &m.wc, false)
+		for b := 0; b < bN; b++ {
+			mat.Add32(m.wcB, htl.Row(b))
+		}
+		mat.Tanh32(htl.Data)
+		m.mulInto(w, logits, htl, &m.outW, false)
+
+		for b := 0; b < bN; b++ {
+			if done[b] != 0 {
+				continue
+			}
+			lr := logits.Row(b)
+			mat.Add32(m.outB, lr)
+			// Never emit BOS; treat it as masked out.
+			lr[nmt.BosID] = negInf32
+			nt := mat.ArgMax32(lr)
+			if nt == nmt.EosID {
+				done[b] = 1
+				remaining--
+				continue
+			}
+			outTok[b*maxLen+lens[b]] = nt
+			lens[b]++
+			tok[b] = nt
+		}
+	}
+	for b, i := range group {
+		hyps[i] = outTok[b*maxLen : b*maxLen+lens[b]]
+	}
+}
+
+// stepStack advances a stacked LSTM one step for the whole batch: for each
+// layer, gates = in·Wxᵀ + hPrev·Whᵀ + b through SigTanhGates, then the cell
+// and hidden state matrices in w.hs/w.cs update in place.
+//
+//mdes:noalloc
+func (m *Model) stepStack(w *ws, x *mat.Matrix32, cells []cell, g *mat.Matrix32) {
+	in := x
+	for l := range cells {
+		c := &cells[l]
+		h := c.hid
+		m.mulInto(w, g, in, &c.wx, false)
+		m.mulInto(w, g, w.hs[l], &c.wh, true)
+		hl, cl := w.hs[l], w.cs[l]
+		for b := 0; b < g.Rows; b++ {
+			gr := g.Row(b)
+			mat.Add32(c.b, gr)
+			mat.SigTanhGates32(gr, h)
+			cr, hr := cl.Row(b), hl.Row(b)
+			for j := 0; j < h; j++ {
+				// C = f·C_prev + i·g̃ ; H = o·tanh(C), gates packed i|f|g̃|o.
+				cj := gr[h+j]*cr[j] + gr[j]*gr[2*h+j]
+				cr[j] = cj
+				hr[j] = cj
+			}
+			mat.Tanh32(hr)
+			for j := 0; j < h; j++ {
+				hr[j] *= gr[3*h+j]
+			}
+		}
+		in = hl
+	}
+}
+
+// scoreOne computes smoothed sentence BLEU of hyp against ref, masking
+// unknown reference tokens with per-position sentinels exactly like
+// nmt.ScoreSentence (an unknown observed state must never count as
+// correctly predicted).
+//
+//mdes:noalloc
+func (m *Model) scoreOne(w *ws, ref, hyp []int) float64 {
+	if len(ref) == 0 || len(hyp) == 0 {
+		return 0
+	}
+	masked := ref
+	copied := false
+	for i, t := range ref {
+		if t == nmt.UnkID {
+			if !copied {
+				mr := w.intsBuf(len(ref))
+				copy(mr, ref)
+				masked = mr
+				copied = true
+			}
+			masked[i] = -(i + 1)
+		}
+	}
+	return w.scorer.SentenceIDs(masked, hyp, bleu.MaxOrder, bleu.SmoothAddOne)
+}

@@ -1,0 +1,370 @@
+// Package infer is the reduced-precision batched inference engine for
+// trained NMT pair models. Training stays float64 (internal/nmt); at publish
+// time a model's weights are frozen into float32 (GEMM weights stored
+// pre-transposed) or int8 (row-quantized with per-row scales), and scoring
+// runs through ScoreBatch, which packs many sentences against one pair model
+// into GEMM calls over pooled workspaces.
+//
+// Two invariants make batching safe to deploy:
+//
+//   - Batched == single, bit for bit. Every kernel is row-independent, so a
+//     sentence scored in a batch of 64 gets exactly the score it gets alone
+//     (TestScoreBatchMatchesSingle). Cross-tenant batching in the serving
+//     pool is therefore invisible to scores.
+//   - Reduced precision preserves the BLEU ranking. f32/int8 scores differ
+//     from float64 in low-order digits; flagged-day parity on the golden
+//     quick-plant trajectory is asserted by internal/experiments.
+package infer
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"mdes/internal/mat"
+	"mdes/internal/nmt"
+	"mdes/internal/nn"
+)
+
+// Precision selects the numeric format of the scoring path. The zero value
+// F64 means "no inference engine — score through the float64 training
+// model"; F32 and Int8 are the reduced-precision engine formats.
+type Precision int
+
+const (
+	F64 Precision = iota
+	F32
+	Int8
+)
+
+// String names the precision the way the -score-precision flag spells it.
+func (p Precision) String() string {
+	switch p {
+	case F64:
+		return "f64"
+	case F32:
+		return "f32"
+	case Int8:
+		return "int8"
+	default:
+		return fmt.Sprintf("precision(%d)", int(p))
+	}
+}
+
+// ParsePrecision parses the -score-precision flag values.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "float64":
+		return F64, nil
+	case "f32", "float32":
+		return F32, nil
+	case "int8", "q8":
+		return Int8, nil
+	default:
+		return 0, fmt.Errorf("infer: unknown precision %q (want f64, f32, or int8)", s)
+	}
+}
+
+// weight is one frozen GEMM weight in the active precision. Exactly one of
+// t/q is set: float32 weights are stored pre-transposed (in×out) so batched
+// products Y = X·Wᵀ stream rows of both operands; int8 weights stay out×in
+// because the integer kernel is row-dot-shaped and its per-row scales align
+// with output channels.
+type weight struct {
+	out, in int
+	t       *mat.Matrix32
+	q       *mat.MatrixQ8
+}
+
+// bytes reports the resident size of the frozen weight.
+func (w *weight) bytes() int {
+	if w.q != nil {
+		return len(w.q.Data) + 4*len(w.q.Scales)
+	}
+	if w.t != nil {
+		return 4 * len(w.t.Data)
+	}
+	return 0
+}
+
+// cell is one frozen LSTM layer.
+type cell struct {
+	wx, wh  weight
+	b       []float32
+	in, hid int
+}
+
+// Model is a frozen reduced-precision inference model built from a trained
+// nmt.Model's state. It scores; it never trains. Safe for concurrent use.
+type Model struct {
+	cfg  nmt.Config
+	prec Precision
+	kind nn.AttentionKind
+
+	srcEmb, tgtEmb *mat.Matrix32 // vocab×embed, float32 in both precisions
+	enc, dec       []cell
+	wa             weight    // general: h×h; concat: h×2h (unused for dot)
+	va             []float32 // concat scoring vector
+	wc             weight    // h×2h combine projection
+	wcB            []float32
+	outW           weight // V×h output projection
+	outB           []float32
+
+	wsPool sync.Pool
+
+	// Greedy decoding is deterministic and discrete event languages repeat
+	// sentences constantly, so translations are memoised exactly like the
+	// float64 model's cache (same key scheme, same full-drop eviction).
+	transMu  sync.Mutex
+	trans    map[string][]int
+	transOff bool
+}
+
+// FromState freezes a trained model snapshot into an inference model at the
+// given precision (F32 or Int8).
+func FromState(st nmt.State, prec Precision) (*Model, error) {
+	if prec != F32 && prec != Int8 {
+		return nil, fmt.Errorf("infer: %v is not an inference precision (want f32 or int8)", prec)
+	}
+	return build(st.Config, prec, &f64Source{weights: st.Weights, prec: prec})
+}
+
+// tensorSource hands build one named tensor at a time. The f64 source
+// quantizes training weights; the state source validates persisted tensors.
+type tensorSource interface {
+	// gemm returns the frozen out×in GEMM weight registered under name.
+	gemm(name string, out, in int) (weight, error)
+	// f32Mat returns a rows×cols float32 matrix (embeddings).
+	f32Mat(name string, rows, cols int) (*mat.Matrix32, error)
+	// f32Vec returns a length-n float32 vector (biases, scoring vectors).
+	f32Vec(name string, n int) ([]float32, error)
+	// finish reports tensors the source holds that build never asked for.
+	finish() error
+}
+
+// build assembles a Model by walking the architecture implied by cfg and
+// pulling each tensor from src. FromState and Load share this walk, so the
+// persisted-layout validation can never drift from the quantisation step.
+func build(cfg nmt.Config, prec Precision, src tensorSource) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kind := cfg.Attention
+	if kind == 0 {
+		kind = nn.AttentionGeneral
+	}
+	m := &Model{cfg: cfg, prec: prec, kind: kind}
+	var err error
+	fail := func(e error) bool {
+		if e != nil && err == nil {
+			err = e
+		}
+		return err != nil
+	}
+	get := func(w *weight, name string, out, in int) {
+		v, e := src.gemm(name, out, in)
+		if !fail(e) {
+			*w = v
+		}
+	}
+	m.srcEmb, err = src.f32Mat("src_emb", cfg.SrcVocab, cfg.Embed)
+	if err != nil {
+		return nil, err
+	}
+	if m.tgtEmb, err = src.f32Mat("tgt_emb", cfg.TgtVocab, cfg.Embed); err != nil {
+		return nil, err
+	}
+	h := cfg.Hidden
+	for _, stack := range []struct {
+		name  string
+		cells *[]cell
+	}{{"enc", &m.enc}, {"dec", &m.dec}} {
+		*stack.cells = make([]cell, cfg.Layers)
+		for l := 0; l < cfg.Layers; l++ {
+			in := cfg.Embed
+			if l > 0 {
+				in = h
+			}
+			c := &(*stack.cells)[l]
+			c.in, c.hid = in, h
+			prefix := fmt.Sprintf("%s.l%d", stack.name, l)
+			get(&c.wx, prefix+".Wx", 4*h, in)
+			get(&c.wh, prefix+".Wh", 4*h, h)
+			if err == nil {
+				c.b, err = src.f32Vec(prefix+".b", 4*h)
+			}
+		}
+	}
+	switch kind {
+	case nn.AttentionGeneral:
+		get(&m.wa, "attn.Wa", h, h)
+	case nn.AttentionConcat:
+		get(&m.wa, "attn.Wa", h, 2*h)
+		if err == nil {
+			m.va, err = src.f32Vec("attn.va", h)
+		}
+	case nn.AttentionDot:
+		// no scoring parameters
+	default:
+		return nil, fmt.Errorf("infer: unknown attention kind %d", kind)
+	}
+	get(&m.wc, "attn.Wc.W", h, 2*h)
+	if err == nil {
+		m.wcB, err = src.f32Vec("attn.Wc.b", h)
+	}
+	get(&m.outW, "out.W", cfg.TgtVocab, h)
+	if err == nil {
+		m.outB, err = src.f32Vec("out.b", cfg.TgtVocab)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := src.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// f64Source freezes float64 training weights into the target precision.
+type f64Source struct {
+	weights map[string][]float64
+	prec    Precision
+	used    int
+}
+
+func (s *f64Source) fetch(name string, want int) ([]float64, error) {
+	data, ok := s.weights[name]
+	if !ok {
+		return nil, fmt.Errorf("infer: weight %q missing from model state", name)
+	}
+	if len(data) != want {
+		return nil, fmt.Errorf("infer: weight %q has %d elements, want %d", name, len(data), want)
+	}
+	s.used++
+	return data, nil
+}
+
+func (s *f64Source) gemm(name string, out, in int) (weight, error) {
+	data, err := s.fetch(name, out*in)
+	if err != nil {
+		return weight{}, err
+	}
+	w := weight{out: out, in: in}
+	src := mat.FromSlice(out, in, data)
+	if s.prec == Int8 {
+		w.q = mat.QuantizeQ8(src)
+	} else {
+		w.t = src.T32()
+	}
+	return w, nil
+}
+
+func (s *f64Source) f32Mat(name string, rows, cols int) (*mat.Matrix32, error) {
+	data, err := s.fetch(name, rows*cols)
+	if err != nil {
+		return nil, err
+	}
+	return mat.FromSlice(rows, cols, data).To32(), nil
+}
+
+func (s *f64Source) f32Vec(name string, n int) ([]float32, error) {
+	data, err := s.fetch(name, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i, v := range data {
+		out[i] = float32(v)
+	}
+	return out, nil
+}
+
+func (s *f64Source) finish() error {
+	if s.used != len(s.weights) {
+		return fmt.Errorf("infer: model state has %d weights, architecture uses %d", len(s.weights), s.used)
+	}
+	return nil
+}
+
+// Precision reports the engine's numeric format.
+func (m *Model) Precision() Precision { return m.prec }
+
+// Config returns the underlying NMT configuration.
+func (m *Model) Config() nmt.Config { return m.cfg }
+
+// MemoryBytes reports the resident size of the frozen weights — the number
+// the ~4× model-memory reduction claim in BENCH_score.json is measured on.
+func (m *Model) MemoryBytes() int {
+	total := 4 * (len(m.srcEmb.Data) + len(m.tgtEmb.Data))
+	total += 4 * (len(m.va) + len(m.wcB) + len(m.outB))
+	for _, cs := range [][]cell{m.enc, m.dec} {
+		for i := range cs {
+			total += cs[i].wx.bytes() + cs[i].wh.bytes() + 4*len(cs[i].b)
+		}
+	}
+	total += m.wa.bytes() + m.wc.bytes() + m.outW.bytes()
+	return total
+}
+
+// SetTranslationCaching toggles the per-model translation cache (on by
+// default). Turning it off also drops cached translations.
+func (m *Model) SetTranslationCaching(on bool) {
+	m.transMu.Lock()
+	m.transOff = !on
+	m.trans = nil
+	m.transMu.Unlock()
+}
+
+func (m *Model) getWS() *ws {
+	if v := m.wsPool.Get(); v != nil {
+		return v.(*ws)
+	}
+	return newWS()
+}
+
+func (m *Model) putWS(w *ws) {
+	w.reset()
+	m.wsPool.Put(w)
+}
+
+func (m *Model) clampSrc(tok int) int {
+	if tok < 0 || tok >= m.cfg.SrcVocab {
+		return nmt.UnkID
+	}
+	return tok
+}
+
+func (m *Model) clampTgt(tok int) int {
+	if tok < 0 || tok >= m.cfg.TgtVocab {
+		return nmt.UnkID
+	}
+	return tok
+}
+
+// mulInto computes dst = x·wᵀ (add=false) or dst += x·wᵀ (add=true) for a
+// B×in activation matrix against a frozen out×in weight, dispatching on the
+// weight's precision. The int8 path quantizes each activation row on the fly.
+//
+//mdes:noalloc
+func (m *Model) mulInto(w *ws, dst, x *mat.Matrix32, wt *weight, add bool) {
+	if wt.t != nil {
+		if add {
+			x.MulMatAdd(dst, wt.t)
+		} else {
+			x.MulMat(dst, wt.t)
+		}
+		return
+	}
+	b, n := x.Rows, x.Cols
+	qbuf, qscales := w.quantScratch(b, n)
+	for i := 0; i < b; i++ {
+		qscales[i] = mat.QuantizeVec8(qbuf[i*n:(i+1)*n], x.Row(i))
+	}
+	if add {
+		wt.q.MulMatQ8Add(dst, qbuf, qscales)
+	} else {
+		wt.q.MulMatQ8(dst, qbuf, qscales)
+	}
+}
+
+var negInf32 = float32(math.Inf(-1))

@@ -1,0 +1,48 @@
+package mat
+
+// SIMD feature detection for the amd64 kernels in kernels_amd64.s. The
+// accelerated paths need AVX2 + FMA and an OS that saves YMM state; anything
+// less falls back to the portable Go kernels.
+
+// cpuid executes CPUID with the given EAX/ECX arguments.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask.
+func xgetbv0() (eax, edx uint32)
+
+func detectSIMD() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if c1&fmaBit == 0 || c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS context-switches YMM registers.
+	if lo, _ := xgetbv0(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return b7&avx2Bit != 0
+}
+
+var simdOn = detectSIMD()
+
+// SIMDEnabled reports whether the AVX2/FMA kernels are active.
+func SIMDEnabled() bool { return simdOn }
+
+// SetSIMD toggles the accelerated kernels (no-op enable on hardware without
+// them) and returns the previous setting. It exists for differential tests
+// and fallback benchmarks; flip it only when no scoring is in flight.
+func SetSIMD(on bool) bool {
+	prev := simdOn
+	simdOn = on && detectSIMD()
+	return prev
+}

@@ -1,0 +1,96 @@
+package mat
+
+import "fmt"
+
+// GEMM kernels. Like the mat-vec kernels these are blocked for locality but
+// keep the per-element accumulation order identical to the naive triple loop:
+// dst[i][j] sees contributions in strictly increasing k, so blocked and naive
+// products are bit-identical (gemm_test.go pins this). The loop is the
+// row-major ikj ("axpy") form — each pass streams one row of b against a
+// handful of scalars from a — which touches dst and b sequentially instead of
+// striding down b's columns.
+
+// MulMat computes dst = m · b where m is R×K, b is K×C, and dst is R×C.
+// dst must not alias m or b.
+//
+//mdes:noalloc
+func (m *Matrix) MulMat(dst, b *Matrix) {
+	checkGEMM("MulMat", dst.Rows, dst.Cols, m.Rows, m.Cols, b.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		di := dst.Row(i)
+		for j := range di {
+			di[j] = 0
+		}
+		m.mulMatRow(di, m.Row(i), b)
+	}
+}
+
+// MulMatAdd computes dst += m · b.
+//
+//mdes:noalloc
+func (m *Matrix) MulMatAdd(dst, b *Matrix) {
+	checkGEMM("MulMatAdd", dst.Rows, dst.Cols, m.Rows, m.Cols, b.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		m.mulMatRow(dst.Row(i), m.Row(i), b)
+	}
+}
+
+// mulMatRow accumulates di += ai · b for one output row, four b-rows per
+// pass. The fused update di[j] += a0·b0[j] + … + a3·b3[j] evaluates left to
+// right (Go never reassociates floating-point expressions), so each di[j]
+// accumulates over k in exactly the naive order.
+//
+//mdes:noalloc
+func (m *Matrix) mulMatRow(di, ai []float64, b *Matrix) {
+	n := b.Cols
+	k := 0
+	for ; k+4 <= b.Rows; k += 4 {
+		a0, a1, a2, a3 := ai[k], ai[k+1], ai[k+2], ai[k+3]
+		b0 := b.Data[(k+0)*n : (k+0)*n+n]
+		b1 := b.Data[(k+1)*n : (k+1)*n+n]
+		b2 := b.Data[(k+2)*n : (k+2)*n+n]
+		b3 := b.Data[(k+3)*n : (k+3)*n+n]
+		if a0 == 0 || a1 == 0 || a2 == 0 || a3 == 0 {
+			// Zero coefficients must contribute nothing at all (adding 0·w
+			// could flip a −0 or turn an Inf weight into NaN) — the same
+			// short-circuit the transposed mat-vec kernels take.
+			for kk := k; kk < k+4; kk++ {
+				akk := ai[kk]
+				if akk == 0 {
+					continue
+				}
+				row := b.Data[kk*n : kk*n+n]
+				for j, w := range row {
+					di[j] += akk * w
+				}
+			}
+			continue
+		}
+		for j := range di {
+			s := di[j]
+			s += a0 * b0[j]
+			s += a1 * b1[j]
+			s += a2 * b2[j]
+			s += a3 * b3[j]
+			di[j] = s
+		}
+	}
+	for ; k < b.Rows; k++ {
+		ak := ai[k]
+		if ak == 0 {
+			continue
+		}
+		row := b.Data[k*n : k*n+n]
+		for j, w := range row {
+			di[j] += ak * w
+		}
+	}
+}
+
+// checkGEMM panics on shape mismatches shared by the GEMM kernels.
+func checkGEMM(op string, dr, dc, ar, ac, br, bc int) {
+	if ac != br || dr != ar || dc != bc {
+		panic(fmt.Sprintf("mat: %s shape mismatch %dx%d · %dx%d -> %dx%d",
+			op, ar, ac, br, bc, dr, dc))
+	}
+}

@@ -1,0 +1,277 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Int8 row-quantized kernels. Weights are quantized symmetrically per output
+// row — q = round(w/scale) with scale = maxabs/127 — so each row's scale
+// aligns with one output channel and dequantisation is a single multiply
+// after the integer dot product. Activations are quantized per vector on the
+// fly with the same scheme; products accumulate in int32 (|q|≤127, so up to
+// ~130k inner elements fit without overflow) and dequantise with the two
+// scales: dst[i] = rowScale[i] · xScale · Σ qw·qx.
+
+// MatrixQ8 is a row-major int8 matrix with one dequantisation scale per row.
+type MatrixQ8 struct {
+	Rows, Cols int
+	Data       []int8
+	Scales     []float32
+}
+
+// QuantizeQ8 quantizes a float64 matrix to int8 with per-row symmetric
+// scales. An all-zero row gets scale 0 (its products are exactly zero).
+func QuantizeQ8(m *Matrix) *MatrixQ8 {
+	q := &MatrixQ8{
+		Rows: m.Rows, Cols: m.Cols,
+		Data:   make([]int8, m.Rows*m.Cols),
+		Scales: make([]float32, m.Rows),
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var maxAbs float64
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		scale := maxAbs / 127
+		inv := 1 / scale
+		out := q.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			r := math.Round(v * inv)
+			if r > 127 {
+				r = 127
+			} else if r < -127 {
+				r = -127
+			}
+			out[j] = int8(r)
+		}
+		q.Scales[i] = float32(scale)
+	}
+	return q
+}
+
+// Row returns a view (no copy) of row i.
+func (q *MatrixQ8) Row(i int) []int8 { return q.Data[i*q.Cols : (i+1)*q.Cols] }
+
+// QuantizeVec8 quantizes a float32 activation vector into dst (same length)
+// and returns the dequantisation scale. An all-zero (or all-non-finite)
+// vector yields scale 0 and zero codes.
+//
+//mdes:noalloc
+func QuantizeVec8(dst []int8, x []float32) float32 {
+	checkLen32("QuantizeVec8", len(dst), len(x))
+	// The SIMD kernels replay the scalar arithmetic exactly (max is
+	// order-independent, one float32 multiply, add-±0.5-then-truncate), so
+	// codes and scale are bit-identical whichever path runs.
+	n8 := 0
+	var maxAbs float32
+	if simdOn && len(x) >= 8 {
+		n8 = len(x) &^ 7
+		maxAbs = maxAbs8AVX(&x[0], n8)
+	}
+	for _, v := range x[n8:] {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAbs == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale := maxAbs / 127
+	inv := 1 / scale
+	if n8 > 0 {
+		quantVec8AVX(&dst[0], &x[0], n8, inv)
+	}
+	for i := n8; i < len(x); i++ {
+		r := x[i] * inv
+		if r >= 0 {
+			r += 0.5
+			if r > 127 {
+				r = 127
+			}
+		} else {
+			r -= 0.5
+			if r < -127 {
+				r = -127
+			}
+		}
+		dst[i] = int8(r)
+	}
+	return scale
+}
+
+// MulVecQ8 computes dst[i] = Scales[i]·xScale·(row_i · xq) for a quantized
+// activation vector xq, overwriting dst (length Rows, float32).
+//
+//mdes:noalloc
+func (q *MatrixQ8) MulVecQ8(dst []float32, xq []int8, xScale float32) {
+	checkVec32("MulVecQ8", q.Rows, q.Cols, len(xq), len(dst))
+	n := q.Cols
+	// Integer addition is associative, so the AVX2 kernel returns the exact
+	// sum the scalar loops compute — int8 scoring is bit-identical across
+	// platforms and code paths.
+	if simdOn && n >= 16 {
+		n16 := n &^ 15
+		i := 0
+		var s4 [4]int32
+		for ; i+4 <= q.Rows; i += 4 {
+			dotQ8x4AVX(&q.Data[i*n], n, &xq[0], n, &s4[0])
+			for j := n16; j < n; j++ {
+				x := int32(xq[j])
+				s4[0] += int32(q.Data[(i+0)*n+j]) * x
+				s4[1] += int32(q.Data[(i+1)*n+j]) * x
+				s4[2] += int32(q.Data[(i+2)*n+j]) * x
+				s4[3] += int32(q.Data[(i+3)*n+j]) * x
+			}
+			dst[i+0] = float32(s4[0]) * q.Scales[i+0] * xScale
+			dst[i+1] = float32(s4[1]) * q.Scales[i+1] * xScale
+			dst[i+2] = float32(s4[2]) * q.Scales[i+2] * xScale
+			dst[i+3] = float32(s4[3]) * q.Scales[i+3] * xScale
+		}
+		for ; i < q.Rows; i++ {
+			row := q.Data[i*n : i*n+n]
+			s := dotQ8AVX(&row[0], &xq[0], n)
+			for j := n16; j < n; j++ {
+				s += int32(row[j]) * int32(xq[j])
+			}
+			dst[i] = float32(s) * q.Scales[i] * xScale
+		}
+		return
+	}
+	i := 0
+	for ; i+4 <= q.Rows; i += 4 {
+		r0 := q.Data[(i+0)*n : (i+0)*n+n]
+		r1 := q.Data[(i+1)*n : (i+1)*n+n]
+		r2 := q.Data[(i+2)*n : (i+2)*n+n]
+		r3 := q.Data[(i+3)*n : (i+3)*n+n]
+		var s0, s1, s2, s3 int32
+		for j, xj := range xq {
+			x := int32(xj)
+			s0 += int32(r0[j]) * x
+			s1 += int32(r1[j]) * x
+			s2 += int32(r2[j]) * x
+			s3 += int32(r3[j]) * x
+		}
+		dst[i+0] = float32(s0) * q.Scales[i+0] * xScale
+		dst[i+1] = float32(s1) * q.Scales[i+1] * xScale
+		dst[i+2] = float32(s2) * q.Scales[i+2] * xScale
+		dst[i+3] = float32(s3) * q.Scales[i+3] * xScale
+	}
+	for ; i < q.Rows; i++ {
+		row := q.Data[i*n : i*n+n]
+		var s int32
+		for j, xj := range xq {
+			s += int32(row[j]) * int32(xj)
+		}
+		dst[i] = float32(s) * q.Scales[i] * xScale
+	}
+}
+
+// MulVecQ8Add computes dst[i] += Scales[i]·xScale·(row_i · xq).
+//
+//mdes:noalloc
+func (q *MatrixQ8) MulVecQ8Add(dst []float32, xq []int8, xScale float32) {
+	checkVec32("MulVecQ8Add", q.Rows, q.Cols, len(xq), len(dst))
+	n := q.Cols
+	if simdOn && n >= 16 {
+		n16 := n &^ 15
+		i := 0
+		var s4 [4]int32
+		for ; i+4 <= q.Rows; i += 4 {
+			dotQ8x4AVX(&q.Data[i*n], n, &xq[0], n, &s4[0])
+			for j := n16; j < n; j++ {
+				x := int32(xq[j])
+				s4[0] += int32(q.Data[(i+0)*n+j]) * x
+				s4[1] += int32(q.Data[(i+1)*n+j]) * x
+				s4[2] += int32(q.Data[(i+2)*n+j]) * x
+				s4[3] += int32(q.Data[(i+3)*n+j]) * x
+			}
+			dst[i+0] += float32(s4[0]) * q.Scales[i+0] * xScale
+			dst[i+1] += float32(s4[1]) * q.Scales[i+1] * xScale
+			dst[i+2] += float32(s4[2]) * q.Scales[i+2] * xScale
+			dst[i+3] += float32(s4[3]) * q.Scales[i+3] * xScale
+		}
+		for ; i < q.Rows; i++ {
+			row := q.Data[i*n : i*n+n]
+			s := dotQ8AVX(&row[0], &xq[0], n)
+			for j := n16; j < n; j++ {
+				s += int32(row[j]) * int32(xq[j])
+			}
+			dst[i] += float32(s) * q.Scales[i] * xScale
+		}
+		return
+	}
+	i := 0
+	for ; i+4 <= q.Rows; i += 4 {
+		r0 := q.Data[(i+0)*n : (i+0)*n+n]
+		r1 := q.Data[(i+1)*n : (i+1)*n+n]
+		r2 := q.Data[(i+2)*n : (i+2)*n+n]
+		r3 := q.Data[(i+3)*n : (i+3)*n+n]
+		var s0, s1, s2, s3 int32
+		for j, xj := range xq {
+			x := int32(xj)
+			s0 += int32(r0[j]) * x
+			s1 += int32(r1[j]) * x
+			s2 += int32(r2[j]) * x
+			s3 += int32(r3[j]) * x
+		}
+		dst[i+0] += float32(s0) * q.Scales[i+0] * xScale
+		dst[i+1] += float32(s1) * q.Scales[i+1] * xScale
+		dst[i+2] += float32(s2) * q.Scales[i+2] * xScale
+		dst[i+3] += float32(s3) * q.Scales[i+3] * xScale
+	}
+	for ; i < q.Rows; i++ {
+		row := q.Data[i*n : i*n+n]
+		var s int32
+		for j, xj := range xq {
+			s += int32(row[j]) * int32(xj)
+		}
+		dst[i] += float32(s) * q.Scales[i] * xScale
+	}
+}
+
+// checkMatQ8 panics on a batched int8 product shape mismatch (unannotated,
+// see checkVec32).
+func checkMatQ8(op string, q *MatrixQ8, dst *Matrix32, aq []int8, b int) {
+	if len(aq) != b*q.Cols || dst.Rows != b || dst.Cols != q.Rows {
+		panic(fmt.Sprintf("mat: %s shape mismatch %d·%dx%d -> %dx%d",
+			op, len(aq), q.Rows, q.Cols, dst.Rows, dst.Cols))
+	}
+}
+
+// MulMatQ8 computes the batched product dst = Aq · qᵀ where Aq is a
+// row-major B×Cols int8 activation matrix with per-row scales aScales.
+// dst is B×Rows float32. Each dst row is exactly MulVecQ8 of the matching
+// activation row, so batched and single-vector results are bit-identical.
+//
+//mdes:noalloc
+func (q *MatrixQ8) MulMatQ8(dst *Matrix32, aq []int8, aScales []float32) {
+	b := len(aScales)
+	checkMatQ8("MulMatQ8", q, dst, aq, b)
+	for i := 0; i < b; i++ {
+		q.MulVecQ8(dst.Row(i), aq[i*q.Cols:(i+1)*q.Cols], aScales[i])
+	}
+}
+
+// MulMatQ8Add computes dst += Aq · qᵀ (see MulMatQ8).
+//
+//mdes:noalloc
+func (q *MatrixQ8) MulMatQ8Add(dst *Matrix32, aq []int8, aScales []float32) {
+	b := len(aScales)
+	checkMatQ8("MulMatQ8Add", q, dst, aq, b)
+	for i := 0; i < b; i++ {
+		q.MulVecQ8Add(dst.Row(i), aq[i*q.Cols:(i+1)*q.Cols], aScales[i])
+	}
+}

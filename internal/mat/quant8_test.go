@@ -1,0 +1,174 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQuantizeQ8RoundTripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	m := New(8, 32)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	q := QuantizeQ8(m)
+	if q.Rows != 8 || q.Cols != 32 || len(q.Scales) != 8 {
+		t.Fatalf("shape %dx%d scales %d", q.Rows, q.Cols, len(q.Scales))
+	}
+	for i := 0; i < m.Rows; i++ {
+		var maxAbs float64
+		for _, v := range m.Row(i) {
+			maxAbs = math.Max(maxAbs, math.Abs(v))
+		}
+		// Symmetric quantization error is bounded by scale/2 per element.
+		bound := maxAbs / 127 / 2 * 1.0001
+		for j, v := range m.Row(i) {
+			deq := float64(q.Scales[i]) * float64(q.Row(i)[j])
+			if math.Abs(deq-v) > bound+1e-12 {
+				t.Fatalf("row %d col %d: |%v - %v| > %v", i, j, deq, v, bound)
+			}
+		}
+	}
+}
+
+func TestQuantizeQ8ZeroRow(t *testing.T) {
+	m := New(2, 4)
+	m.Set(1, 2, 3.5)
+	q := QuantizeQ8(m)
+	if q.Scales[0] != 0 {
+		t.Fatalf("zero row got scale %v", q.Scales[0])
+	}
+	dst := make([]float32, 2)
+	xq := []int8{127, -127, 5, 9}
+	q.MulVecQ8(dst, xq, 0.01)
+	if dst[0] != 0 {
+		t.Fatalf("zero row product %v", dst[0])
+	}
+	if dst[1] == 0 {
+		t.Fatalf("non-zero row product is zero")
+	}
+}
+
+func TestQuantizeVec8(t *testing.T) {
+	x := []float32{0.5, -1, 0.25, 0}
+	dst := make([]int8, 4)
+	s := QuantizeVec8(dst, x)
+	if s == 0 {
+		t.Fatal("scale 0 for non-zero vector")
+	}
+	for i, v := range x {
+		deq := float64(s) * float64(dst[i])
+		if math.Abs(deq-float64(v)) > float64(s)/2*1.0001 {
+			t.Fatalf("element %d: dequant %v vs %v", i, deq, v)
+		}
+	}
+	// Extremes map to ±127.
+	if dst[1] != -127 {
+		t.Fatalf("maxabs element quantized to %d, want -127", dst[1])
+	}
+	// All-zero vector: zero codes, zero scale.
+	if s := QuantizeVec8(dst, make([]float32, 4)); s != 0 {
+		t.Fatalf("zero vector scale %v", s)
+	}
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatalf("zero vector code %d", v)
+		}
+	}
+}
+
+// TestMulVecQ8MatchesInt32Reference checks the blocked int8 kernel against a
+// plain int32 reference, including the dual-scale dequantisation.
+func TestMulVecQ8MatchesInt32Reference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := New(11, 37)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	q := QuantizeQ8(m)
+	xq := make([]int8, 37)
+	for i := range xq {
+		xq[i] = int8(rng.Intn(255) - 127)
+	}
+	const xs = float32(0.031)
+	got := make([]float32, 11)
+	q.MulVecQ8(got, xq, xs)
+	for i := 0; i < q.Rows; i++ {
+		var s int32
+		for j, v := range q.Row(i) {
+			s += int32(v) * int32(xq[j])
+		}
+		want := float32(s) * q.Scales[i] * xs
+		if math.Float32bits(want) != math.Float32bits(got[i]) {
+			t.Fatalf("row %d: got %v want %v", i, got[i], want)
+		}
+	}
+	// Accumulating variant.
+	acc := make([]float32, 11)
+	copy(acc, got)
+	q.MulVecQ8Add(acc, xq, xs)
+	for i := range acc {
+		if math.Float32bits(acc[i]) != math.Float32bits(got[i]+got[i]) {
+			t.Fatalf("MulVecQ8Add row %d: got %v want %v", i, acc[i], got[i]+got[i])
+		}
+	}
+}
+
+// TestMulMatQ8BatchRowEqualsSingleRow pins batched == single for the int8
+// path, the invariant that makes cross-tenant GEMM batching score-invisible.
+func TestMulMatQ8BatchRowEqualsSingleRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	m := New(10, 24)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	q := QuantizeQ8(m)
+	const B = 5
+	aq := make([]int8, B*24)
+	as := make([]float32, B)
+	for i := range aq {
+		aq[i] = int8(rng.Intn(255) - 127)
+	}
+	for i := range as {
+		as[i] = float32(rng.Float64())
+	}
+	batch := NewMatrix32(B, 10)
+	q.MulMatQ8(batch, aq, as)
+	single := make([]float32, 10)
+	for b := 0; b < B; b++ {
+		q.MulVecQ8(single, aq[b*24:(b+1)*24], as[b])
+		for j, v := range single {
+			if math.Float32bits(v) != math.Float32bits(batch.At(b, j)) {
+				t.Fatalf("row %d col %d: batch %v single %v", b, j, batch.At(b, j), v)
+			}
+		}
+	}
+	acc := NewMatrix32(B, 10)
+	copy(acc.Data, batch.Data)
+	q.MulMatQ8Add(acc, aq, as)
+	for i, v := range acc.Data {
+		if math.Float32bits(v) != math.Float32bits(batch.Data[i]+batch.Data[i]) {
+			t.Fatalf("MulMatQ8Add element %d mismatch", i)
+		}
+	}
+}
+
+func BenchmarkMulVecQ8_64x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := New(64, 64)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	q := QuantizeQ8(m)
+	xq := make([]int8, 64)
+	for i := range xq {
+		xq[i] = int8(rng.Intn(255) - 127)
+	}
+	dst := make([]float32, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.MulVecQ8(dst, xq, 0.02)
+	}
+}

@@ -1,0 +1,147 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSIMDGemmMatchesGeneric checks the AVX2/FMA float32 GEMM against the
+// portable kernel on awkward shapes (vector tails, leftover rows). Fused
+// rounding differs in low-order bits, so the comparison is relative, not
+// bitwise.
+func TestSIMDGemmMatchesGeneric(t *testing.T) {
+	if !SIMDEnabled() {
+		t.Skip("no AVX2/FMA on this machine")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, shape := range [][3]int{{1, 8, 8}, {3, 17, 9}, {16, 64, 64}, {5, 23, 31}, {7, 4, 12}, {2, 3, 40}} {
+		rows, k, cols := shape[0], shape[1], shape[2]
+		a := randMatrix32(rng, rows, k)
+		b := randMatrix32(rng, k, cols)
+		simd := NewMatrix32(rows, cols)
+		a.MulMat(simd, b)
+
+		SetSIMD(false)
+		generic := NewMatrix32(rows, cols)
+		a.MulMat(generic, b)
+		SetSIMD(true)
+
+		for i := range simd.Data {
+			g, s := float64(generic.Data[i]), float64(simd.Data[i])
+			if math.Abs(g-s) > 1e-4*(1+math.Abs(g)) {
+				t.Fatalf("shape %v element %d: simd %v generic %v", shape, i, s, g)
+			}
+		}
+	}
+}
+
+// TestSIMDActivationsAccurate bounds the polynomial sigmoid/tanh kernels
+// against float64 references. The approximation error (~2e-7 relative) sits
+// under float32 rounding noise accumulated by the surrounding GEMMs, and the
+// end-to-end gates on the inference path are relative (parity vs float64),
+// never golden bits.
+func TestSIMDActivationsAccurate(t *testing.T) {
+	if !SIMDEnabled() {
+		t.Skip("no AVX2/FMA on this machine")
+	}
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float32, 1027) // non-multiple of 8: exercises the scalar tail
+	for i := range x {
+		switch i % 3 {
+		case 0:
+			x[i] = float32(rng.NormFloat64()) // typical pre-activation range
+		case 1:
+			x[i] = float32(rng.NormFloat64() * 10) // saturating range
+		default:
+			x[i] = float32(rng.NormFloat64() * 0.01) // near zero
+		}
+	}
+	x[0], x[1], x[2] = 0, 100, -100
+
+	th := append([]float32(nil), x...)
+	Tanh32(th)
+	for i, v := range x {
+		want := math.Tanh(float64(v))
+		if diff := math.Abs(float64(th[i]) - want); diff > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("tanh(%v) = %v, want %v", v, th[i], want)
+		}
+	}
+
+	sg := append([]float32(nil), x...)
+	sigmoid32(sg)
+	for i, v := range x {
+		want := 1 / (1 + math.Exp(-float64(v)))
+		if diff := math.Abs(float64(sg[i]) - want); diff > 1e-6 {
+			t.Fatalf("sigmoid(%v) = %v, want %v", v, sg[i], want)
+		}
+	}
+}
+
+// TestSIMDQuantizeVec8MatchesGenericExactly pins that vectorized activation
+// quantization produces bit-identical codes and scale to the portable loop.
+func TestSIMDQuantizeVec8MatchesGenericExactly(t *testing.T) {
+	if !SIMDEnabled() {
+		t.Skip("no AVX2/FMA on this machine")
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{7, 8, 16, 33, 100, 256} {
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64() * 3)
+		}
+		simd := make([]int8, n)
+		sScale := QuantizeVec8(simd, x)
+
+		SetSIMD(false)
+		generic := make([]int8, n)
+		gScale := QuantizeVec8(generic, x)
+		SetSIMD(true)
+
+		if math.Float32bits(sScale) != math.Float32bits(gScale) {
+			t.Fatalf("n=%d scale: simd %v generic %v", n, sScale, gScale)
+		}
+		for i := range simd {
+			if simd[i] != generic[i] {
+				t.Fatalf("n=%d code %d: simd %d generic %d (x=%v)", n, i, simd[i], generic[i], x[i])
+			}
+		}
+	}
+}
+
+// TestSIMDQ8MatchesGenericExactly pins that the integer kernel is
+// bit-identical to the portable loop — int8 scoring must not depend on which
+// code path ran.
+func TestSIMDQ8MatchesGenericExactly(t *testing.T) {
+	if !SIMDEnabled() {
+		t.Skip("no AVX2/FMA on this machine")
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, shape := range [][2]int{{4, 16}, {7, 17}, {64, 64}, {3, 100}, {16, 33}} {
+		rows, cols := shape[0], shape[1]
+		q := &MatrixQ8{Rows: rows, Cols: cols, Data: make([]int8, rows*cols), Scales: make([]float32, rows)}
+		for i := range q.Data {
+			q.Data[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range q.Scales {
+			q.Scales[i] = float32(rng.Float64())
+		}
+		xq := make([]int8, cols)
+		for i := range xq {
+			xq[i] = int8(rng.Intn(255) - 127)
+		}
+		simd := make([]float32, rows)
+		q.MulVecQ8(simd, xq, 0.37)
+
+		SetSIMD(false)
+		generic := make([]float32, rows)
+		q.MulVecQ8(generic, xq, 0.37)
+		SetSIMD(true)
+
+		for i := range simd {
+			if math.Float32bits(simd[i]) != math.Float32bits(generic[i]) {
+				t.Fatalf("shape %v row %d: simd %v generic %v (must be bit-identical)", shape, i, simd[i], generic[i])
+			}
+		}
+	}
+}

@@ -22,8 +22,9 @@ import (
 // untouched — the degraded tick repeats the previous score, it does not leak
 // a half-scored window.
 func TestScoreWithinDeadlineMiss(t *testing.T) {
-	hist := newHistogram(scoreBuckets)
-	p := newScorePool(0, &hist)
+	var met metrics
+	met.scoreLatency = newHistogram(scoreBuckets)
+	p := newScorePool(0, 0, 0, &met)
 	defer p.close()
 
 	jobs := make([]mdes.ScoreJob, 3)

@@ -29,6 +29,11 @@ type metrics struct {
 	missingModelTicks  atomic.Int64 // windows degraded by an absent pair model
 	snapshotLoadErrors atomic.Int64 // snapshot reads/decodes that failed
 
+	// Batched-scoring counters: jobs fused per GEMM call is the serving-side
+	// throughput story (batch_jobs / batches = average fusion factor).
+	scoreBatches   atomic.Int64 // ScoreBatch calls issued by pool workers
+	scoreBatchJobs atomic.Int64 // jobs scored through batched calls
+
 	scoreLatency histogram
 }
 
@@ -111,6 +116,8 @@ func (m *metrics) write(w io.Writer, sessionsLive, inflight, queueDepth int) {
 	counter(w, "mdes_serve_degraded_ticks_total", "Ticks answered with the last valid score and degraded=true.", m.degradedTicks.Load())
 	counter(w, "mdes_serve_score_deadline_misses_total", "Sentence windows that missed the scoring deadline.", m.deadlineMisses.Load())
 	counter(w, "mdes_serve_missing_model_ticks_total", "Sentence windows degraded because a pair model was missing.", m.missingModelTicks.Load())
+	counter(w, "mdes_serve_score_batches_total", "Batched ScoreBatch calls issued by pool workers.", m.scoreBatches.Load())
+	counter(w, "mdes_serve_score_batch_jobs_total", "Scoring jobs fused into batched calls.", m.scoreBatchJobs.Load())
 	gauge(w, "mdes_serve_sessions_live", "Sessions currently resident in memory.", float64(sessionsLive))
 	gauge(w, "mdes_serve_inflight_requests", "Tick requests currently admitted.", float64(inflight))
 	gauge(w, "mdes_serve_score_queue_depth", "Pairwise scoring jobs waiting for a pool worker.", float64(queueDepth))

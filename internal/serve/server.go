@@ -41,6 +41,15 @@ type Options struct {
 	// ScoreWorkers sizes the shared pairwise-scoring pool. 0 selects
 	// GOMAXPROCS.
 	ScoreWorkers int
+	// ScoreBatchMax caps how many same-model reduced-precision scoring jobs
+	// the pool fuses into one batched GEMM call (jobs group by pair model
+	// across tenants). 0 selects 64; 1 disables batching. Float64 jobs are
+	// never batched.
+	ScoreBatchMax int
+	// ScoreLinger lets a short batch wait this long for more same-model jobs
+	// before scoring. 0 (the default) is greedy: batches fuse only from work
+	// already queued, adding no latency.
+	ScoreLinger time.Duration
 	// RetryAfter is the hint returned with 429 responses. 0 selects 1s.
 	RetryAfter time.Duration
 	// ScoreDeadline enables degraded-mode serving: a completed sentence
@@ -123,7 +132,7 @@ func New(opts Options) (*Server, error) {
 		janitorDone: make(chan struct{}),
 	}
 	s.met.scoreLatency = newHistogram(scoreBuckets)
-	s.pool = newScorePool(opts.ScoreWorkers, &s.met.scoreLatency)
+	s.pool = newScorePool(opts.ScoreWorkers, opts.ScoreBatchMax, opts.ScoreLinger, &s.met)
 	if d := opts.ScoreDeadline; d > 0 {
 		s.scorer = func(jobs []mdes.ScoreJob, row []float64) error {
 			return s.pool.scoreWithin(jobs, row, d)

@@ -82,7 +82,7 @@ func coupledDataset(rng *rand.Rand, ticks int) *seqio.Dataset {
 	}}
 }
 
-func testModel(t *testing.T) *mdes.Model {
+func testModel(t testing.TB) *mdes.Model {
 	t.Helper()
 	modelOnce.Do(func() {
 		rng := rand.New(rand.NewSource(42))

@@ -29,6 +29,7 @@ import (
 	"mdes/internal/checkpoint"
 	"mdes/internal/faultfs"
 	"mdes/internal/graph"
+	"mdes/internal/infer"
 	"mdes/internal/lang"
 	"mdes/internal/nmt"
 	"mdes/internal/pairmine"
@@ -160,6 +161,12 @@ type Model struct {
 	dropped   []string
 	runtimes  []PairRuntime
 	screen    ScreenSummary
+
+	// Frozen reduced-precision inference weights, built by Quantize. Nil maps
+	// with prec == PrecisionF64 mean pure float64 scoring (the paper's
+	// reference path).
+	infPairs map[[2]string]*infer.Model
+	prec     Precision
 }
 
 // ScreenSummary records the candidate-pair screening decision of a training

@@ -14,6 +14,7 @@ import (
 	"mdes/internal/anomaly"
 	"mdes/internal/community"
 	"mdes/internal/graph"
+	"mdes/internal/infer"
 	"mdes/internal/lang"
 	"mdes/internal/nmt"
 	"mdes/internal/seqio"
@@ -157,6 +158,27 @@ func (m *Model) testScores(ctx context.Context, test *seqio.Dataset, det *anomal
 					continue
 				}
 				src, tgt := sents[rel.Src], sents[rel.Tgt]
+				if im := m.inferFor([2]string{rel.Src, rel.Tgt}); im != nil {
+					// Quantized path: one GEMM batch per chunk of timestamps
+					// instead of one GEMV decode per sentence. The chunk size
+					// doubles as the cancellation-check stride.
+					buf := make([]float64, ctxCheckStride)
+					for t0 := 0; t0 < steps; t0 += ctxCheckStride {
+						if ctx.Err() != nil {
+							setErr(ctx.Err())
+							break
+						}
+						hi := t0 + ctxCheckStride
+						if hi > steps {
+							hi = steps
+						}
+						im.ScoreBatch(src[t0:hi], tgt[t0:hi], buf[:hi-t0])
+						for i, v := range buf[:hi-t0] {
+							scores[t0+i][k] = v
+						}
+					}
+					continue
+				}
 				for t := 0; t < steps; t++ {
 					// Re-check cancellation periodically: one relationship can
 					// cover thousands of timestamps, and waiting for the whole
@@ -235,6 +257,15 @@ type persistedModel struct {
 	Pairs     map[string]nmt.State     `json:"pairs"`
 	Runtimes  []PairRuntime            `json:"runtimes,omitempty"`
 	Screen    ScreenSummary            `json:"screen,omitempty"`
+	Quant     *persistedQuant          `json:"quant,omitempty"`
+}
+
+// persistedQuant is the frozen reduced-precision inference state of a
+// published model: one infer.State per pair, all at one precision. A saved
+// quantized model restores ready to serve without re-quantizing.
+type persistedQuant struct {
+	Precision string                 `json:"precision"`
+	Pairs     map[string]infer.State `json:"pairs"`
 }
 
 type persistedLang struct {
@@ -281,6 +312,15 @@ func (m *Model) Save(w io.Writer) error {
 	}
 	for key, model := range m.pairs {
 		p.Pairs[key[0]+string(pairKeySep)+key[1]] = model.State()
+	}
+	if m.prec != PrecisionF64 {
+		p.Quant = &persistedQuant{
+			Precision: m.prec.String(),
+			Pairs:     make(map[string]infer.State, len(m.infPairs)),
+		}
+		for key, im := range m.infPairs {
+			p.Quant.Pairs[key[0]+string(pairKeySep)+key[1]] = im.State()
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(p)
@@ -363,7 +403,60 @@ func Load(r io.Reader) (*Model, error) {
 		}
 		m.pairs[[2]string{src, tgt}] = model
 	}
+	if p.Quant != nil {
+		if err := m.loadQuant(p.Quant); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
+}
+
+// loadQuant restores a persisted quant section: the frozen inference weights
+// of every pair at one precision. The section must be complete and consistent
+// — every pair model quantized, no extras, each at the section's precision
+// with the architecture of its float64 twin — or scoring precision would
+// silently vary per pair. Violations are corrupt-model errors.
+func (m *Model) loadQuant(q *persistedQuant) error {
+	prec, err := ParsePrecision(q.Precision)
+	if err != nil || prec == PrecisionF64 {
+		return fmt.Errorf("%w: quant section precision %q", ErrCorruptModel, q.Precision)
+	}
+	infs := make(map[[2]string]*infer.Model, len(q.Pairs))
+	for key, st := range q.Pairs {
+		var src, tgt string
+		for i := 0; i < len(key); i++ {
+			if key[i] == pairKeySep {
+				src, tgt = key[:i], key[i+1:]
+				break
+			}
+		}
+		if src == "" || tgt == "" {
+			return fmt.Errorf("%w: quant section: malformed pair key %q", ErrCorruptModel, key)
+		}
+		pm := m.pairs[[2]string{src, tgt}]
+		if pm == nil {
+			return fmt.Errorf("%w: quant section: pair %s->%s has no float64 model", ErrCorruptModel, src, tgt)
+		}
+		if got, errP := infer.ParsePrecision(st.Precision); errP != nil || got != prec {
+			return fmt.Errorf("%w: quant pair %s->%s: precision %q, section says %q",
+				ErrCorruptModel, src, tgt, st.Precision, q.Precision)
+		}
+		if st.Config != pm.Config() {
+			return fmt.Errorf("%w: quant pair %s->%s: configuration differs from its float64 model",
+				ErrCorruptModel, src, tgt)
+		}
+		im, errL := infer.Load(st)
+		if errL != nil {
+			return fmt.Errorf("%w: quant pair %s->%s: %v", ErrCorruptModel, src, tgt, errL)
+		}
+		infs[[2]string{src, tgt}] = im
+	}
+	if len(infs) != len(m.pairs) {
+		return fmt.Errorf("%w: quant section covers %d of %d pairs", ErrCorruptModel, len(infs), len(m.pairs))
+	}
+	m.infPairs = infs
+	m.prec = prec
+	return nil
 }
 
 // RestoreStream rebuilds an online detector from a snapshot taken with

@@ -160,3 +160,212 @@ func TestLoadRejectsMalformedPairKey(t *testing.T) {
 		t.Fatalf("malformed pair key: err = %v, want ErrCorruptModel", err)
 	}
 }
+
+// mutateQuant rewrites the quant section of a quantized model's save file.
+// The mutate callback receives the decoded section (precision + raw pairs)
+// and returns the replacement; returning nil deletes the section.
+func mutateQuant(t *testing.T, m *Model, mutate func(prec string, pairs map[string]json.RawMessage) any) *bytes.Buffer {
+	t.Helper()
+	return mutateModelJSON(t, m, func(raw map[string]json.RawMessage) {
+		var q struct {
+			Precision string                     `json:"precision"`
+			Pairs     map[string]json.RawMessage `json:"pairs"`
+		}
+		if err := json.Unmarshal(raw["quant"], &q); err != nil {
+			t.Fatal(err)
+		}
+		repl := mutate(q.Precision, q.Pairs)
+		if repl == nil {
+			delete(raw, "quant")
+			return
+		}
+		out, err := json.Marshal(repl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw["quant"] = out
+	})
+}
+
+type quantSection struct {
+	Precision string                     `json:"precision"`
+	Pairs     map[string]json.RawMessage `json:"pairs"`
+}
+
+// TestLoadRejectsCorruptQuantSection covers the published-model failure
+// modes: a quant section that parses as JSON but is internally inconsistent
+// must fail Load with ErrCorruptModel rather than serve at a silently wrong
+// or mixed precision.
+func TestLoadRejectsCorruptQuantSection(t *testing.T) {
+	model := trainTiny(t)
+	if err := model.Quantize(PrecisionInt8); err != nil {
+		t.Fatal(err)
+	}
+	defer model.Quantize(PrecisionF64)
+
+	// Positive control: the untouched quantized file loads at int8.
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.ScorePrecision() != PrecisionInt8 {
+		t.Fatalf("control precision = %v, want int8", good.ScorePrecision())
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(prec string, pairs map[string]json.RawMessage) any
+	}{
+		{"unknown precision", func(prec string, pairs map[string]json.RawMessage) any {
+			return quantSection{Precision: "f16", Pairs: pairs}
+		}},
+		{"f64 precision", func(prec string, pairs map[string]json.RawMessage) any {
+			return quantSection{Precision: "f64", Pairs: pairs}
+		}},
+		{"missing pair", func(prec string, pairs map[string]json.RawMessage) any {
+			for k := range pairs {
+				delete(pairs, k)
+				break
+			}
+			return quantSection{Precision: prec, Pairs: pairs}
+		}},
+		{"ghost pair", func(prec string, pairs map[string]json.RawMessage) any {
+			var any json.RawMessage
+			for _, st := range pairs {
+				any = st
+				break
+			}
+			pairs["ghost\x1fa"] = any
+			return quantSection{Precision: prec, Pairs: pairs}
+		}},
+		{"malformed pair key", func(prec string, pairs map[string]json.RawMessage) any {
+			var any json.RawMessage
+			for k, st := range pairs {
+				any = st
+				delete(pairs, k)
+				break
+			}
+			pairs["nosep"] = any
+			return quantSection{Precision: prec, Pairs: pairs}
+		}},
+		{"pair precision mismatch", func(prec string, pairs map[string]json.RawMessage) any {
+			for k, st := range pairs {
+				var pair map[string]json.RawMessage
+				if err := json.Unmarshal(st, &pair); err != nil {
+					t.Fatal(err)
+				}
+				pair["precision"] = json.RawMessage(`"f32"`)
+				out, err := json.Marshal(pair)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pairs[k] = out
+				break
+			}
+			return quantSection{Precision: prec, Pairs: pairs}
+		}},
+		{"pair config mismatch", func(prec string, pairs map[string]json.RawMessage) any {
+			for k, st := range pairs {
+				var pair map[string]json.RawMessage
+				if err := json.Unmarshal(st, &pair); err != nil {
+					t.Fatal(err)
+				}
+				var cfg map[string]json.RawMessage
+				if err := json.Unmarshal(pair["config"], &cfg); err != nil {
+					t.Fatal(err)
+				}
+				cfg["Hidden"] = json.RawMessage(`8`)
+				out, err := json.Marshal(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pair["config"] = out
+				if pairs[k], err = json.Marshal(pair); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			return quantSection{Precision: prec, Pairs: pairs}
+		}},
+		{"truncated tensor payload", func(prec string, pairs map[string]json.RawMessage) any {
+			for k, st := range pairs {
+				var pair struct {
+					Config    json.RawMessage   `json:"config"`
+					Precision string            `json:"precision"`
+					Tensors   []json.RawMessage `json:"tensors"`
+				}
+				if err := json.Unmarshal(st, &pair); err != nil {
+					t.Fatal(err)
+				}
+				if len(pair.Tensors) == 0 {
+					t.Fatal("quant pair has no tensors")
+				}
+				var tensor map[string]json.RawMessage
+				if err := json.Unmarshal(pair.Tensors[0], &tensor); err != nil {
+					t.Fatal(err)
+				}
+				// Halve the payload, whichever representation it uses.
+				for _, field := range []string{"f32", "q8", "scales"} {
+					raw, ok := tensor[field]
+					if !ok {
+						continue
+					}
+					if field == "q8" {
+						var b64 string
+						if err := json.Unmarshal(raw, &b64); err != nil {
+							t.Fatal(err)
+						}
+						out, err := json.Marshal(b64[:len(b64)/2&^3])
+						if err != nil {
+							t.Fatal(err)
+						}
+						tensor[field] = out
+						continue
+					}
+					var vals []float32
+					if err := json.Unmarshal(raw, &vals); err != nil {
+						t.Fatal(err)
+					}
+					out, err := json.Marshal(vals[:len(vals)/2])
+					if err != nil {
+						t.Fatal(err)
+					}
+					tensor[field] = out
+				}
+				out, err := json.Marshal(tensor)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pair.Tensors[0] = out
+				if pairs[k], err = json.Marshal(pair); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			return quantSection{Precision: prec, Pairs: pairs}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			corrupted := mutateQuant(t, model, tc.mutate)
+			if _, err := Load(corrupted); !errors.Is(err, ErrCorruptModel) {
+				t.Fatalf("err = %v, want ErrCorruptModel", err)
+			}
+		})
+	}
+
+	// Deleting the whole section is not corruption: the float64 weights are
+	// intact, so the model loads and scores at f64.
+	stripped := mutateQuant(t, model, func(string, map[string]json.RawMessage) any { return nil })
+	plain, err := Load(stripped)
+	if err != nil {
+		t.Fatalf("quant-stripped model failed to load: %v", err)
+	}
+	if plain.ScorePrecision() != PrecisionF64 {
+		t.Fatalf("quant-stripped precision = %v, want f64", plain.ScorePrecision())
+	}
+}

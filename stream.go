@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"mdes/internal/anomaly"
+	"mdes/internal/infer"
 	"mdes/internal/lang"
 	"mdes/internal/nmt"
 )
@@ -86,6 +87,7 @@ func (s *Stream) SentenceSpan() int { return s.span }
 type ScoreJob struct {
 	k                int
 	model            *nmt.Model
+	inf              *infer.Model
 	src, tgt         []int
 	srcName, tgtName string
 }
@@ -97,10 +99,25 @@ func (j *ScoreJob) Index() int { return j.k }
 // Pair returns the sensor names of the relationship being scored.
 func (j *ScoreJob) Pair() (src, tgt string) { return j.srcName, j.tgtName }
 
+// BatchModel returns the job's frozen inference model, or nil when the model
+// scores at float64. Jobs sharing a BatchModel — across streams and tenants —
+// can be packed into one ScoreBatch call; each score is bit-identical to
+// Run on the same job, so batching is invisible to detection verdicts.
+func (j *ScoreJob) BatchModel() *infer.Model { return j.inf }
+
+// Sentences returns the job's encoded source and observed-target sentences
+// (stream-owned scratch — valid only while the job is).
+func (j *ScoreJob) Sentences() (src, tgt []int) { return j.src, j.tgt }
+
 // Run computes the job's score f(i,j) — the smoothed sentence BLEU of the
 // model's translation against the observed target sentence. Run is safe to
 // call from any goroutine; distinct jobs may run concurrently.
-func (j *ScoreJob) Run() float64 { return nmt.ScoreSentence(j.model, j.src, j.tgt) }
+func (j *ScoreJob) Run() float64 {
+	if j.inf != nil {
+		return j.inf.ScoreSentence(j.src, j.tgt)
+	}
+	return nmt.ScoreSentence(j.model, j.src, j.tgt)
+}
 
 // SetScorer replaces the stream's serial relationship scorer. The function
 // must fill row[j.Index()] = j.Run() (or an equivalent score) for every job
@@ -187,7 +204,7 @@ func (s *Stream) emit() (*Point, error) {
 			return nil, fmt.Errorf("%w %s->%s", ErrNoPairModel, rel.Src, rel.Tgt)
 		}
 		jobs = append(jobs, ScoreJob{
-			k: k, model: m,
+			k: k, model: m, inf: s.model.inferFor([2]string{rel.Src, rel.Tgt}),
 			src: s.sent[rel.Src], tgt: s.sent[rel.Tgt],
 			srcName: rel.Src, tgtName: rel.Tgt,
 		})
