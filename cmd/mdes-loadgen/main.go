@@ -7,19 +7,31 @@
 //
 //	mdes-loadgen -addr http://127.0.0.1:8331 -in plant.csv -tenants 8 -ticks 200 -batch 20
 //
+// -addr also takes a comma-separated replica list (a cluster's -peers value):
+// the generator then routes each tenant to its ring owner, follows ownership
+// redirects, and rides out replica drains and kills — a batch interrupted by
+// a dead connection is resynced against the tenant's server-side tick count,
+// so no tick is ever lost or double-fed. The run fails if any tenant's final
+// server-side tick count disagrees with what was sent.
+//
 // A human-readable summary goes to stderr. Stdout carries Go-benchmark-format
 // result lines so the output pipes straight into the repo's benchjson tool:
 //
 //	mdes-loadgen ... | go run ./cmd/benchjson > BENCH_serve.json
+//
+// Against a cluster, extra lines report per-replica tick counts and the
+// redirect rate (BENCH_cluster.json in CI).
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -44,14 +56,15 @@ func main() {
 type tenantResult struct {
 	ticks     int
 	points    int
-	retries   int
+	retries   int             // backpressure waits: 429, 503 + Retry-After, redirect storms
+	resyncs   int             // dead-connection recoveries via the session tick count
 	latencies []time.Duration // one per successful request
 	err       error
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("mdes-loadgen", flag.ContinueOnError)
-	addr := fs.String("addr", "http://127.0.0.1:8331", "mdes-serve base URL")
+	addr := fs.String("addr", "http://127.0.0.1:8331", "mdes-serve base URL, or a comma-separated replica list for cluster mode")
 	in := fs.String("in", "", "CSV event log to replay (columns = sensors)")
 	tenants := fs.Int("tenants", 4, "concurrent tenants")
 	ticks := fs.Int("ticks", 0, "ticks per tenant (0 = whole log)")
@@ -96,14 +109,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	client := &serve.Client{BaseURL: *addr, Model: *model}
-	if err := client.Ready(ctx); err != nil {
+	addrs := splitAddrs(*addr)
+	client := &serve.Client{Model: *model}
+	if len(addrs) > 1 {
+		client.Peers = addrs
+	} else {
+		client.BaseURL = addrs[0]
+	}
+	if err := waitReady(ctx, client, stderr); err != nil {
 		return err
 	}
 
 	// Snapshot the server's per-call scoring histogram so the run's own
 	// scoring latency distribution can be diffed out afterwards.
-	scoreBefore, scoreErr := scrapeScoreHist(ctx, *addr)
+	scoreBefore, scoreErr := scrapeScoreHist(ctx, addrs[0])
 
 	results := make([]tenantResult, *tenants)
 	start := time.Now()
@@ -113,41 +132,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		go func(i int) {
 			defer wg.Done()
 			res := &results[i]
-			tenant := fmt.Sprintf("loadgen-%d", i)
-			for off := 0; off < total; off += *batch {
-				end := off + *batch
-				if end > total {
-					end = total
-				}
-				for {
-					reqStart := time.Now()
-					points, err := client.PushTicks(ctx, tenant, tickMaps[off:end])
-					if busy, ok := err.(*serve.BusyError); ok {
-						res.retries++
-						select {
-						case <-time.After(busy.RetryAfter):
-							continue
-						case <-ctx.Done():
-							res.err = ctx.Err()
-							return
-						}
-					}
-					if err != nil {
-						res.err = err
-						return
-					}
-					res.latencies = append(res.latencies, time.Since(reqStart))
-					res.ticks += end - off
-					res.points += len(points)
-					break
-				}
-			}
+			res.err = driveTenant(ctx, client, fmt.Sprintf("loadgen-%d", i), tickMaps, *batch, res)
 		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var sumTicks, sumPoints, sumRetries int
+	var sumTicks, sumPoints, sumRetries, sumResyncs int
 	var all []time.Duration
 	for i := range results {
 		if results[i].err != nil {
@@ -156,7 +147,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sumTicks += results[i].ticks
 		sumPoints += results[i].points
 		sumRetries += results[i].retries
+		sumResyncs += results[i].resyncs
 		all = append(all, results[i].latencies...)
+	}
+
+	// Zero-lost-ticks check: every tenant's server-side tick count must equal
+	// what was sent, whichever replica holds the session now.
+	for i := 0; i < *tenants; i++ {
+		tenant := fmt.Sprintf("loadgen-%d", i)
+		info, err := client.Session(ctx, tenant)
+		if err != nil {
+			return fmt.Errorf("verify %s: %w", tenant, err)
+		}
+		if info.Ticks != total {
+			return fmt.Errorf("verify %s: server holds %d ticks, sent %d — ticks lost", tenant, info.Ticks, total)
+		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pct := func(p float64) time.Duration {
@@ -167,9 +172,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return all[i]
 	}
 
-	fmt.Fprintf(stderr, "loadgen: %d tenants x %d ticks in %s — %.0f ticks/s, %d points, %d retries (429)\n",
+	fmt.Fprintf(stderr, "loadgen: %d tenants x %d ticks in %s — %.0f ticks/s, %d points, %d backoffs, %d resyncs\n",
 		*tenants, total, elapsed.Round(time.Millisecond),
-		float64(sumTicks)/elapsed.Seconds(), sumPoints, sumRetries)
+		float64(sumTicks)/elapsed.Seconds(), sumPoints, sumRetries, sumResyncs)
 	fmt.Fprintf(stderr, "loadgen: request latency p50=%s p95=%s p99=%s max=%s over %d requests\n",
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond), len(all))
@@ -179,7 +184,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// traffic don't pollute it.
 	var scoreAfter histSnapshot
 	if scoreErr == nil {
-		scoreAfter, scoreErr = scrapeScoreHist(ctx, *addr)
+		scoreAfter, scoreErr = scrapeScoreHist(ctx, addrs[0])
 	}
 	if scoreErr != nil {
 		fmt.Fprintf(stderr, "loadgen: scoring latency unavailable: %v\n", scoreErr)
@@ -203,7 +208,156 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "BenchmarkServeRequestP95 %d %d ns/op\n", len(all), pct(0.95).Nanoseconds())
 		fmt.Fprintf(stdout, "BenchmarkServeRequestP99 %d %d ns/op\n", len(all), pct(0.99).Nanoseconds())
 	}
+
+	// Cluster routing: how the load actually spread, and how much of it was
+	// redirected (0 when every tenant was routed straight to its owner; it
+	// climbs when replicas drain or die mid-run).
+	if len(addrs) > 1 {
+		st := client.Stats()
+		for i, a := range addrs {
+			n := st.TicksByReplica[a]
+			fmt.Fprintf(stderr, "loadgen: replica %d (%s): %d ticks\n", i, a, n)
+			fmt.Fprintf(stdout, "BenchmarkClusterReplica%dTicks 1 %d ticks\n", i, n)
+		}
+		rate := 0.0
+		if len(all) > 0 {
+			rate = float64(st.Redirects) / float64(len(all))
+		}
+		fmt.Fprintf(stderr, "loadgen: %d redirects followed (%.3f per request)\n", st.Redirects, rate)
+		fmt.Fprintf(stdout, "BenchmarkClusterRedirects 1 %d redirects\n", st.Redirects)
+		fmt.Fprintf(stdout, "BenchmarkClusterRedirectRate 1 %.4f redirects/req\n", rate)
+		fmt.Fprintf(stdout, "BenchmarkClusterResyncs 1 %d resyncs\n", sumResyncs)
+	}
 	return nil
+}
+
+// splitAddrs parses -addr; always returns at least one entry.
+func splitAddrs(v string) []string {
+	var addrs []string
+	for _, a := range strings.Split(v, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, strings.TrimRight(a, "/"))
+		}
+	}
+	if len(addrs) == 0 {
+		addrs = []string{"http://127.0.0.1:8331"}
+	}
+	return addrs
+}
+
+// waitReady polls the server (first replica in cluster mode) until it
+// reports ready; replicas may still be joining when the generator starts.
+func waitReady(ctx context.Context, client *serve.Client, stderr io.Writer) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if lastErr = client.Ready(ctx); lastErr == nil {
+			return nil
+		}
+		if attempt == 0 {
+			fmt.Fprintf(stderr, "loadgen: waiting for server: %v\n", lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server never became ready: %w", lastErr)
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// driveTenant replays the tick log for one tenant, batch by batch. Progress
+// is tracked as "ticks the server has consumed": backpressure (429/503 with
+// a hint, redirect storms) waits and resends the same batch, while a dead
+// connection — a killed or restarting replica — resyncs against the
+// tenant's server-side tick count before resending, because the interrupted
+// batch may or may not have been consumed and a blind resend would double-
+// feed the stream.
+func driveTenant(ctx context.Context, client *serve.Client, tenant string, tickMaps []map[string]string, batch int, res *tenantResult) error {
+	total := len(tickMaps)
+	off := 0
+	for off < total {
+		end := off + batch
+		if end > total {
+			end = total
+		}
+		reqStart := time.Now()
+		points, err := client.PushTicks(ctx, tenant, tickMaps[off:end])
+		if err == nil {
+			res.latencies = append(res.latencies, time.Since(reqStart))
+			res.points += len(points)
+			res.ticks += end - off
+			off = end
+			continue
+		}
+		hint, backoff := backoffHint(err)
+		if backoff {
+			// Nothing consumed; wait out the hint and resend the same batch.
+			res.retries++
+			if err := sleepCtx(ctx, max(hint, 10*time.Millisecond)); err != nil {
+				return err
+			}
+			continue
+		}
+		var uerr *url.Error
+		if !errors.As(err, &uerr) || ctx.Err() != nil {
+			return err // a real server-side failure, not a dead connection
+		}
+		// Transport failure mid-request: resync consumed-tick position.
+		res.resyncs++
+		consumed, err := resyncTicks(ctx, client, tenant, off)
+		if err != nil {
+			return err
+		}
+		adj := consumed - off
+		res.ticks += adj
+		off = consumed
+	}
+	return nil
+}
+
+// backoffHint classifies a PushTicks error as backpressure and extracts the
+// server's retry hint.
+func backoffHint(err error) (time.Duration, bool) {
+	var busy *serve.BusyError
+	if errors.As(err, &busy) {
+		return busy.RetryAfter, true
+	}
+	var redir *serve.RedirectError
+	if errors.As(err, &redir) {
+		return redir.RetryAfter, true
+	}
+	return 0, false
+}
+
+// resyncTicks asks the cluster how many of the tenant's ticks were consumed.
+// A session that cannot be found yet reports the caller's own position (an
+// interrupted batch that never created the session consumed nothing).
+func resyncTicks(ctx context.Context, client *serve.Client, tenant string, off int) (int, error) {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		if err := sleepCtx(ctx, 100*time.Millisecond); err != nil {
+			return 0, err
+		}
+		info, err := client.Session(ctx, tenant)
+		if err == nil {
+			return info.Ticks, nil
+		}
+		if strings.Contains(err.Error(), "404") {
+			return off, nil
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("resync %s: %w", tenant, lastErr)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // scoreHistName is the serve-side per-call scoring latency histogram.

@@ -19,6 +19,17 @@
 // finish, every session's rolling window is snapshotted, and the process
 // exits 0. A restarted server resumes each tenant bit-for-bit from its
 // snapshot.
+//
+// Cluster mode (-peers + -advertise) shards tenants across replicas by
+// consistent hashing: each replica serves only the tenants it owns and
+// answers misrouted requests with 307 + the owner's address. On SIGTERM a
+// clustered replica first migrates every resident tenant to its new owner
+// (snapshot handoff over /v1/cluster/handoff) before shutting the listener
+// down, so the fleet keeps serving every tenant with no stream forked or
+// reset:
+//
+//	mdes-serve -listen :8331 -model model.json -snapshots ./snaps \
+//	  -peers http://a:8331,http://b:8331 -advertise http://a:8331
 package main
 
 import (
@@ -101,6 +112,9 @@ func run(args []string, logw io.Writer) error {
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	scoreDeadline := fs.Duration("score-deadline", 0, "answer ticks degraded (last valid score + degraded=true) when a window cannot be scored within this budget (0 = strict)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	peers := fs.String("peers", "", "cluster mode: comma-separated base URLs of every replica, this one included (e.g. http://a:8331,http://b:8331)")
+	advertise := fs.String("advertise", "", "cluster mode: this replica's own base URL as it appears in -peers")
+	probeInterval := fs.Duration("probe-interval", 0, "cluster peer health-probe interval (0 = 2s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +151,9 @@ func run(args []string, logw io.Writer) error {
 		ScoreLinger:   *scoreLinger,
 		RetryAfter:    *retryAfter,
 		ScoreDeadline: *scoreDeadline,
+		Peers:         splitPeers(*peers),
+		Advertise:     *advertise,
+		ProbeInterval: *probeInterval,
 	})
 	if err != nil {
 		return err
@@ -168,11 +185,20 @@ func run(args []string, logw io.Writer) error {
 	}
 
 	// Drain: stop admitting (readyz 503), let in-flight requests finish,
-	// then snapshot every session.
-	srv.BeginDrain()
+	// then snapshot every session. In cluster mode the tenants migrate to
+	// the surviving replicas FIRST, while this listener still answers —
+	// peers need the drain announcement and clients need redirects until
+	// every handoff lands.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	live := srv.SessionsLive()
+	moved, drainErr := srv.DrainToPeers(ctx) // includes BeginDrain; (0, nil) standalone
+	if drainErr != nil {
+		fmt.Fprintf(logw, "mdes-serve: drain-to-peers incomplete: %v (unshipped tenants stay snapshotted locally)\n", drainErr)
+	} else if moved > 0 {
+		fmt.Fprintf(logw, "mdes-serve: migrated %d tenants to peers\n", moved)
+	}
+	srv.BeginDrain()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("drain http: %w", err)
 	}
@@ -182,6 +208,20 @@ func run(args []string, logw io.Writer) error {
 	if err := <-errc; err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "mdes-serve: drained cleanly (%d sessions persisted)\n", live)
+	fmt.Fprintf(logw, "mdes-serve: drained cleanly (%d sessions held at shutdown, %d migrated)\n", live, moved)
 	return nil
+}
+
+// splitPeers parses the -peers list; empty stays empty (standalone).
+func splitPeers(v string) []string {
+	if v == "" {
+		return nil
+	}
+	var peers []string
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	return peers
 }

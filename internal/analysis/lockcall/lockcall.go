@@ -1,6 +1,9 @@
 // Package lockcall guards the server's latency and liveness invariants: a
-// sync.Mutex/RWMutex in internal/serve protects in-memory session state and
-// must never be held across blocking operations.
+// sync.Mutex/RWMutex in internal/serve protects in-memory session state, and
+// one in internal/cluster protects ring/membership state; neither must ever
+// be held across blocking operations (in cluster in particular, no network
+// I/O under a membership lock — a slow peer would stall ownership lookups
+// fleet-wide).
 //
 // Within the configured packages, after a mu.Lock()/mu.RLock() and before the
 // matching Unlock in the same block (a deferred Unlock holds to function
@@ -33,7 +36,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // Packages are the import-path suffixes the analyzer applies to.
-var Packages = []string{"internal/serve"}
+var Packages = []string{"internal/serve", "internal/cluster"}
 
 // ioPkgs are the packages whose calls count as file/network I/O.
 var ioPkgs = map[string]bool{

@@ -8,8 +8,8 @@ import (
 
 func TestLockcall(t *testing.T) {
 	saved := Packages
-	Packages = append(append([]string{}, Packages...), "serve")
+	Packages = append(append([]string{}, Packages...), "serve", "cluster")
 	defer func() { Packages = saved }()
 
-	analyzertest.Run(t, "testdata/src", Analyzer, "serve", "elsewhere")
+	analyzertest.Run(t, "testdata/src", Analyzer, "serve", "cluster", "elsewhere")
 }

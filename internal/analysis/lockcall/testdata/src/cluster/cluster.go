@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+)
+
+// membership mirrors internal/cluster's shape: a mutex guarding peer state,
+// with change callbacks and peer probes that must never run under it.
+type membership struct {
+	mu       sync.RWMutex
+	states   map[string]int
+	onChange func(string, int)
+}
+
+// probe performs network I/O; the fixpoint marks it, so calling it under the
+// membership lock is as bad as calling net/http directly.
+func probe(url string) bool {
+	resp, err := http.Get(url)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return true
+}
+
+func (m *membership) bad(peer string) {
+	m.mu.Lock()
+	if probe(peer) { // want `call to probe while m.mu is held`
+		m.states[peer] = 1
+	}
+	m.onChange(peer, m.states[peer]) // want `dynamic callback invocation while m.mu is held`
+	m.mu.Unlock()
+}
+
+func (m *membership) badRead(peer string) int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, _ = http.Get(peer) // want `call to http.Get while m.mu is held \(file/network I/O\)`
+	return m.states[peer]
+}
+
+// --- non-flagging shapes -------------------------------------------------
+
+// good takes the lock only to mutate state, then fires probes and callbacks
+// against a copy after releasing it — the internal/cluster idiom.
+func (m *membership) good(peer string) {
+	alive := probe(peer)
+	m.mu.Lock()
+	if alive {
+		m.states[peer] = 1
+	} else {
+		m.states[peer] = 2
+	}
+	st := m.states[peer]
+	cb := m.onChange
+	m.mu.Unlock()
+	cb(peer, st)
+}
+
+// snapshot under RLock is pure map copying: no I/O, nothing to flag.
+func (m *membership) snapshot() map[string]int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string]int, len(m.states))
+	for k, v := range m.states {
+		out[k] = v
+	}
+	return out
+}

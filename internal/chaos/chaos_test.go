@@ -71,6 +71,26 @@ func TestBrokenRecoveryIsCaught(t *testing.T) {
 	t.Logf("broken recovery caught: %v", err)
 }
 
+func TestClusterKillReplicaSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	rep, err := ClusterSoak(context.Background(), 4, soakIters(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cluster soak: %+v", rep)
+	if rep.HardKills == 0 {
+		t.Fatal("no iteration hard-killed a replica; the soak exercised nothing")
+	}
+	if rep.Drains == 0 || rep.Moved == 0 {
+		t.Fatal("no iteration drained a replica's tenants; the soak exercised nothing")
+	}
+	if rep.Redirects == 0 {
+		t.Fatal("the client never followed an ownership redirect; the soak exercised nothing")
+	}
+}
+
 func TestServeCrashRestoreSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak")

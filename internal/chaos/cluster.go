@@ -1,0 +1,214 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"time"
+
+	"mdes"
+	"mdes/internal/faultfs"
+	"mdes/internal/serve"
+)
+
+// clusterTenants is the tenant set every ClusterSoak iteration drives —
+// enough that, whichever replica the ring favours, the victim owns some and
+// the survivors own others.
+var clusterTenants = []string{"plant-a", "plant-b", "plant-c", "plant-d", "plant-e"}
+
+const clusterReplicas = 3
+
+// ClusterSoakReport summarises one ClusterSoak run.
+type ClusterSoakReport struct {
+	Iterations int
+	HardKills  int   // iterations that killed the victim without warning
+	Drains     int   // iterations that drained the victim gracefully
+	Moved      int   // tenants migrated by graceful drains, summed
+	Redirects  int64 // ownership redirects the driving client followed
+}
+
+// replica is one cluster member under the soak's control: its fixed HTTP
+// address outlives the server process behind it, exactly like a host whose
+// process dies and restarts.
+type replica struct {
+	url     string
+	handler atomic.Value // holds replicaBox
+	fs      *faultfs.InjectFS
+	srv     *serve.Server
+}
+
+type replicaBox struct{ h http.Handler }
+
+func (r *replica) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.handler.Load().(replicaBox).h.ServeHTTP(w, req)
+}
+
+// deadHandler answers everything — health checks included — with 503 and an
+// immediate-retry hint, which is how a killed replica looks to peers (probes
+// fail) and to clients (backpressure, batch not consumed).
+var deadHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "0")
+	http.Error(w, "killed", http.StatusServiceUnavailable)
+})
+
+// startReplica boots (or reboots) the serve process behind a replica's
+// address, against whatever state its disk holds.
+func startReplica(rep *replica, peers []string, model *mdes.Model) error {
+	srv, err := serve.New(serve.Options{
+		Models:        map[string]*mdes.Model{"m": model},
+		SnapshotDir:   "snaps",
+		FS:            rep.fs,
+		ScoreWorkers:  2,
+		MaxInflight:   8,
+		Peers:         peers,
+		Advertise:     rep.url,
+		RetryAfter:    10 * time.Millisecond, // header "0": clients retry at their own pace
+		ProbeInterval: 25 * time.Millisecond,
+		PendingTTL:    2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	rep.srv = srv
+	rep.handler.Store(replicaBox{srv})
+	return nil
+}
+
+// ClusterSoak runs iters kill-a-replica cycles over a three-replica cluster:
+// five tenants stream tick batches through the sharding client while one
+// replica — chosen per iteration by the seeded rng — either drains
+// gracefully (snapshot handoff to the survivors) or dies without warning at
+// a batch boundary and reboots from its own disk. Either way, every
+// tenant's full point stream must be bit-identical to a single-replica
+// crash-free reference, and every tenant's final server-side tick count
+// must equal what was sent: no tick lost, no stream forked, no divergence.
+func ClusterSoak(ctx context.Context, seed int64, iters int) (ClusterSoakReport, error) {
+	rep := ClusterSoakReport{Iterations: iters}
+	if err := fixture(); err != nil {
+		return rep, err
+	}
+	model := fixModel
+
+	ticks := make(map[string][]map[string]string, len(clusterTenants))
+	points := make(map[string][]*mdes.Point, len(clusterTenants))
+	for _, tenant := range clusterTenants {
+		ticks[tenant] = tenantTicks(tenant)
+		_, p, err := referenceBoundaries(model, ticks[tenant])
+		if err != nil {
+			return rep, fmt.Errorf("chaos: reference stream for %q: %w", tenant, err)
+		}
+		points[tenant] = p
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	for it := 0; it < iters; it++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		if err := clusterIteration(ctx, rng, seed, it, model, ticks, points, &rep); err != nil {
+			return rep, fmt.Errorf("chaos: cluster iteration %d: %w", it, err)
+		}
+	}
+	return rep, nil
+}
+
+func clusterIteration(ctx context.Context, rng *rand.Rand, seed int64, it int, model *mdes.Model,
+	ticks map[string][]map[string]string, points map[string][]*mdes.Point, rep *ClusterSoakReport) error {
+
+	// Addresses first (the static peer list needs every URL), processes after.
+	replicas := make([]*replica, clusterReplicas)
+	peers := make([]string, clusterReplicas)
+	for i := range replicas {
+		r := &replica{fs: faultfs.NewInject(seed*2_000_003+int64(it*clusterReplicas+i), faultfs.Faults{})}
+		r.handler.Store(replicaBox{deadHandler})
+		hs := httptest.NewServer(r)
+		defer hs.Close()
+		r.url = hs.URL
+		replicas[i] = r
+		peers[i] = r.url
+	}
+	for _, r := range replicas {
+		if err := startReplica(r, peers, model); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, r := range replicas {
+			_ = r.srv.Shutdown(context.Background())
+		}
+	}()
+
+	victim := rng.Intn(clusterReplicas)
+	hardKill := rng.Intn(2) == 0
+	killAt := serveBatch * (1 + rng.Intn(serveTicks/serveBatch-1)) // a batch boundary, never 0
+
+	client := &serve.Client{
+		Peers: peers,
+		Retry: serve.RetryPolicy{MaxAttempts: 200, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+	}
+	got := make(map[string][]serve.WirePoint, len(clusterTenants))
+
+	for off := 0; off < serveTicks; off += serveBatch {
+		if off == killAt {
+			if hardKill {
+				// No warning, no drain: the address goes dark at a request
+				// boundary (the last acked batch is the last durable state),
+				// then the process reboots from its own disk and rejoins.
+				rep.HardKills++
+				replicas[victim].handler.Store(replicaBox{deadHandler})
+				_ = replicas[victim].srv.Shutdown(ctx) // reclaim goroutines; disk already holds boundary state
+				if err := startReplica(replicas[victim], peers, model); err != nil {
+					return err
+				}
+			} else {
+				rep.Drains++
+				moved, err := replicas[victim].srv.DrainToPeers(ctx)
+				if err != nil {
+					return fmt.Errorf("drain replica %d: %w", victim, err)
+				}
+				rep.Moved += moved
+				// The drained process stays up, answering misroutes with the
+				// new owner's address until the operator takes it away.
+			}
+		}
+		for _, tenant := range clusterTenants {
+			hi := off + serveBatch
+			if hi > serveTicks {
+				hi = serveTicks
+			}
+			ps, err := client.PushTicksRetry(ctx, tenant, ticks[tenant][off:hi])
+			if err != nil {
+				return fmt.Errorf("tenant %q ticks [%d,%d): %w", tenant, off, hi, err)
+			}
+			got[tenant] = append(got[tenant], ps...)
+		}
+	}
+
+	// Post-recovery audit: full point streams bit-identical to the
+	// single-replica reference, and no tick lost anywhere.
+	for _, tenant := range clusterTenants {
+		var want []serve.WirePoint
+		for _, p := range points[tenant] {
+			if p != nil {
+				want = append(want, serve.PointWire(*p))
+			}
+		}
+		if !reflect.DeepEqual(got[tenant], want) {
+			return fmt.Errorf("tenant %q points diverge from reference: got %+v, want %+v", tenant, got[tenant], want)
+		}
+		info, err := client.Session(ctx, tenant)
+		if err != nil {
+			return fmt.Errorf("verify tenant %q: %w", tenant, err)
+		}
+		if info.Ticks != serveTicks {
+			return fmt.Errorf("tenant %q: server holds %d ticks, sent %d", tenant, info.Ticks, serveTicks)
+		}
+	}
+	st := client.Stats()
+	rep.Redirects += st.Redirects
+	return nil
+}

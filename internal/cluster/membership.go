@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PeerState is a node's local view of one peer. Views are not replicated:
+// each node probes independently and routes by its own table, and any
+// disagreement is absorbed by redirects and idempotent handoffs.
+//
+// The states split along two axes — reachability and ownership. A peer
+// that is merely unreachable (Down) KEEPS its tenants: their state lives
+// on its disk, and letting a survivor adopt them would fresh-start
+// divergent streams. Only an announced drain (Leaving → Gone), which
+// ships every session out first, moves ownership.
+type PeerState int
+
+const (
+	// Alive: the peer is serving and owns its ring range.
+	Alive PeerState = iota
+	// Down: probes fail but the peer never announced a drain — a crash or
+	// a partition. It still owns its ring range; requests for its tenants
+	// are answered 503 (retry when it returns), never adopted.
+	Down
+	// Leaving: the peer announced a drain and is shipping its sessions
+	// out. No longer an owner; its tenants rehash onto the survivors.
+	Leaving
+	// Gone: the peer departed after a drain. Not an owner. Revival is
+	// announced, not probed: a restarted peer says hello, which is what
+	// flips it back to Alive and triggers shipping its tenants home.
+	Gone
+)
+
+func (s PeerState) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Down:
+		return "down"
+	case Leaving:
+		return "leaving"
+	case Gone:
+		return "gone"
+	default:
+		return fmt.Sprintf("PeerState(%d)", int(s))
+	}
+}
+
+// owner reports whether the state retains ring ownership.
+func (s PeerState) owner() bool { return s == Alive || s == Down }
+
+// Membership is one node's mutable availability table over the static peer
+// list. All peers start Alive: a fresh cluster must route without waiting
+// for a probe round, and a wrong optimistic guess only costs a redirect or
+// a retried handoff.
+type Membership struct {
+	mu     sync.Mutex
+	states map[string]PeerState
+}
+
+// NewMembership builds a table over peers, all Alive.
+func NewMembership(peers []string) *Membership {
+	m := &Membership{states: make(map[string]PeerState, len(peers))}
+	for _, p := range peers {
+		m.states[p] = Alive
+	}
+	return m
+}
+
+// Get returns the peer's state; an unknown peer reads as Gone.
+func (m *Membership) Get(peer string) PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.states[peer]
+	if !ok {
+		return Gone
+	}
+	return s
+}
+
+// Set records a state change and reports whether it was a change. Unknown
+// peers are ignored (the peer list is static; nothing can join it at
+// runtime).
+func (m *Membership) Set(peer string, s PeerState) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old, ok := m.states[peer]
+	if !ok || old == s {
+		return false
+	}
+	m.states[peer] = s
+	return true
+}
+
+// Eligible reports whether peer currently owns its ring range: Alive and
+// Down peers do (Down is unreachable, not dispossessed — see PeerState);
+// Leaving and Gone peers have shipped or are shipping their tenants away.
+// The method is a ready-made `eligible` for Ring.OwnerAmong, but OwnerAmong
+// calls it point by point — callers on a hot path should route through a
+// Snapshot instead of paying a lock per virtual node.
+func (m *Membership) Eligible(peer string) bool { return m.Get(peer).owner() }
+
+// AliveCount returns how many peers are currently Alive.
+func (m *Membership) AliveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, s := range m.states {
+		if s == Alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns a copy of the table for lock-free iteration.
+func (m *Membership) Snapshot() map[string]PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]PeerState, len(m.states))
+	for p, s := range m.states {
+		out[p] = s
+	}
+	return out
+}
+
+// Alive returns the Alive peers, sorted.
+func (m *Membership) Alive() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for p, s := range m.states {
+		if s == Alive {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

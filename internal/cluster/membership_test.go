@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMembershipTransitions(t *testing.T) {
+	peers := testPeers(3)
+	m := NewMembership(peers)
+	if got := m.AliveCount(); got != 3 {
+		t.Fatalf("fresh membership alive = %d, want 3", got)
+	}
+	if !m.Eligible(peers[1]) {
+		t.Fatal("fresh peer not eligible")
+	}
+	if !m.Set(peers[1], Leaving) {
+		t.Fatal("Alive->Leaving not reported as a change")
+	}
+	if m.Set(peers[1], Leaving) {
+		t.Fatal("no-op Set reported as a change")
+	}
+	if m.Eligible(peers[1]) {
+		t.Fatal("leaving peer still eligible")
+	}
+	// A Down peer keeps ownership: unreachable is not dispossessed.
+	m.Set(peers[2], Down)
+	if !m.Eligible(peers[2]) {
+		t.Fatal("down peer lost ownership")
+	}
+	if m.Set("http://stranger:1", Alive) {
+		t.Fatal("unknown peer admitted to the static list")
+	}
+	if got := m.Get("http://stranger:1"); got != Gone {
+		t.Fatalf("unknown peer state = %v, want Gone", got)
+	}
+	if got := m.Alive(); len(got) != 1 {
+		t.Fatalf("alive list = %v, want 1 peer", got)
+	}
+}
+
+// failFlip is a ProbeFunc whose verdict per peer can be flipped at runtime.
+type failFlip struct {
+	mu   sync.Mutex
+	down map[string]bool
+}
+
+func (f *failFlip) probe(_ context.Context, peer string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down[peer] {
+		return errors.New("probe: connection refused")
+	}
+	return nil
+}
+
+func (f *failFlip) set(peer string, isDown bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down[peer] = isDown
+}
+
+func TestProberDemotesToDownAndRecovers(t *testing.T) {
+	peers := testPeers(2)
+	self, other := peers[0], peers[1]
+	mem := NewMembership(peers)
+	flip := &failFlip{down: map[string]bool{other: true}}
+
+	type change struct{ from, to PeerState }
+	changes := make(chan change, 16)
+	p := &Prober{
+		Peers:         peers,
+		Self:          self,
+		Mem:           mem,
+		Probe:         flip.probe,
+		Interval:      2 * time.Millisecond,
+		MaxInterval:   10 * time.Millisecond,
+		FailThreshold: 2,
+		OnChange: func(peer string, from, to PeerState) {
+			if peer != other {
+				t.Errorf("transition for unexpected peer %s", peer)
+			}
+			changes <- change{from, to}
+		},
+	}
+	p.Start()
+	defer p.Stop()
+
+	waitChange := func(want change) {
+		t.Helper()
+		select {
+		case got := <-changes:
+			if got != want {
+				t.Fatalf("transition %v -> %v, want %v -> %v", got.from, got.to, want.from, want.to)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no %v -> %v transition", want.from, want.to)
+		}
+	}
+
+	waitChange(change{Alive, Down})
+	if got := mem.Get(other); got != Down {
+		t.Fatalf("failed peer state = %v, want Down", got)
+	}
+	if !mem.Eligible(other) {
+		t.Fatal("down peer lost ownership (its tenants' state is on its disk)")
+	}
+	flip.set(other, false)
+	waitChange(change{Down, Alive})
+	if got := mem.Get(other); got != Alive {
+		t.Fatalf("recovered peer state = %v, want Alive", got)
+	}
+}
+
+// A Gone (drained) peer must stay Gone under successful probes: its tenants
+// moved away, so revival is announced by a hello, never inferred from a
+// port answering.
+func TestProberDoesNotReviveGonePeer(t *testing.T) {
+	peers := testPeers(2)
+	mem := NewMembership(peers)
+	mem.Set(peers[1], Gone)
+	p := &Prober{
+		Peers:    peers,
+		Self:     peers[0],
+		Mem:      mem,
+		Probe:    func(context.Context, string) error { return nil },
+		Interval: time.Millisecond,
+		OnChange: func(peer string, from, to PeerState) {
+			t.Errorf("unexpected transition %v -> %v for %s", from, to, peer)
+		},
+	}
+	p.Start()
+	time.Sleep(20 * time.Millisecond)
+	p.Stop()
+	if got := mem.Get(peers[1]); got != Gone {
+		t.Fatalf("gone peer state = %v, want Gone", got)
+	}
+}
+
+// A draining peer whose process dies moves Leaving -> Gone so the table
+// converges even when the leave announcement was the last thing it sent.
+func TestProberCompletesLeaving(t *testing.T) {
+	peers := testPeers(2)
+	mem := NewMembership(peers)
+	mem.Set(peers[1], Leaving)
+	changes := make(chan PeerState, 4)
+	p := &Prober{
+		Peers:         peers,
+		Self:          peers[0],
+		Mem:           mem,
+		Probe:         func(context.Context, string) error { return errors.New("refused") },
+		Interval:      time.Millisecond,
+		MaxInterval:   5 * time.Millisecond,
+		FailThreshold: 2,
+		OnChange:      func(_ string, _, to PeerState) { changes <- to },
+	}
+	p.Start()
+	defer p.Stop()
+	select {
+	case to := <-changes:
+		if to != Gone {
+			t.Fatalf("transitioned to %v, want Gone", to)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("leaving peer never completed to Gone")
+	}
+}
+
+// A peer that announced Leaving is draining deliberately; a successful
+// probe must not promote it back to Alive and re-route tenants onto it.
+func TestProberDoesNotReviveLeavingPeer(t *testing.T) {
+	peers := testPeers(2)
+	mem := NewMembership(peers)
+	mem.Set(peers[1], Leaving)
+	p := &Prober{
+		Peers:    peers,
+		Self:     peers[0],
+		Mem:      mem,
+		Probe:    func(context.Context, string) error { return nil },
+		Interval: time.Millisecond,
+		OnChange: func(peer string, from, to PeerState) {
+			t.Errorf("unexpected transition %v -> %v for %s", from, to, peer)
+		},
+	}
+	p.Start()
+	time.Sleep(20 * time.Millisecond)
+	p.Stop()
+	if got := mem.Get(peers[1]); got != Leaving {
+		t.Fatalf("leaving peer state = %v, want Leaving", got)
+	}
+}

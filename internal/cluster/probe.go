@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ProbeFunc checks one peer's health; nil means healthy. The cluster node
+// injects an HTTP GET of the peer's /healthz; tests inject whatever they
+// like. Probes run OUTSIDE every cluster lock — lockcall enforces that no
+// network IO can hide under the membership mutex.
+type ProbeFunc func(ctx context.Context, peer string) error
+
+// Prober periodically health-checks every peer except self and maintains
+// the reachability half of the Membership table:
+//
+//   - Alive → Down after FailThreshold consecutive failures (crash or
+//     partition; ownership is retained — see PeerState).
+//   - Down → Alive on one success (the peer came back; nothing moved, so
+//     nothing ships).
+//   - Leaving → Gone on failure (the drain completed and the peer exited).
+//
+// Gone is sticky under probing: a drained peer's tenants moved away, so
+// its revival must be announced (a hello that triggers shipping them
+// home), not inferred from a port answering — a drainer still answering
+// health checks mid-drain must not be yanked back to Alive. A failing
+// peer's probes back off exponentially so a long outage costs one cheap
+// refused dial per MaxInterval rather than a tight reconnect loop.
+type Prober struct {
+	Peers    []string
+	Self     string
+	Mem      *Membership
+	Probe    ProbeFunc
+	Interval time.Duration // base probe period (default 2s)
+	// MaxInterval caps the per-peer backoff (default 30s).
+	MaxInterval time.Duration
+	// FailThreshold is how many consecutive failures demote Alive→Gone
+	// (default 2 — one blip should not trigger a rebalance).
+	FailThreshold int
+	// OnChange, if set, is called after a state transition, outside all
+	// locks: the serve layer hooks the rebalance sweep here (Gone→Alive
+	// means the revived peer's tenants must be shipped back to it).
+	OnChange func(peer string, from, to PeerState)
+
+	stop chan struct{}
+	done sync.WaitGroup
+	once sync.Once
+}
+
+func (p *Prober) interval() time.Duration {
+	if p.Interval > 0 {
+		return p.Interval
+	}
+	return 2 * time.Second
+}
+
+func (p *Prober) maxInterval() time.Duration {
+	if p.MaxInterval > 0 {
+		return p.MaxInterval
+	}
+	return 30 * time.Second
+}
+
+func (p *Prober) failThreshold() int {
+	if p.FailThreshold > 0 {
+		return p.FailThreshold
+	}
+	return 2
+}
+
+// Start launches one probe loop per remote peer. Call Stop to halt them.
+func (p *Prober) Start() {
+	p.stop = make(chan struct{})
+	for _, peer := range p.Peers {
+		if peer == p.Self {
+			continue
+		}
+		p.done.Add(1)
+		go p.loop(peer)
+	}
+}
+
+// Stop halts the probe loops and waits for them to exit. Safe to call more
+// than once; a Prober that was never Started is a no-op.
+func (p *Prober) Stop() {
+	if p.stop == nil {
+		return
+	}
+	p.once.Do(func() { close(p.stop) })
+	p.done.Wait()
+}
+
+// loop probes one peer forever. Healthy peers are probed every Interval;
+// each consecutive failure doubles the wait up to MaxInterval, and a
+// success resets it.
+func (p *Prober) loop(peer string) {
+	defer p.done.Done()
+	fails := 0
+	wait := p.interval()
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-timer.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.interval())
+		err := p.Probe(ctx, peer)
+		cancel()
+		if err == nil {
+			fails = 0
+			wait = p.interval()
+			p.transition(peer, Down, Alive)
+		} else {
+			fails++
+			if wait *= 2; wait > p.maxInterval() {
+				wait = p.maxInterval()
+			}
+			if fails >= p.failThreshold() {
+				p.transition(peer, Alive, Down)
+				p.transition(peer, Leaving, Gone)
+			}
+		}
+		timer.Reset(wait)
+	}
+}
+
+// transition applies from→to if the peer is currently in from, then fires
+// OnChange outside the membership lock.
+func (p *Prober) transition(peer string, from, to PeerState) {
+	if p.Mem.Get(peer) != from {
+		return
+	}
+	if p.Mem.Set(peer, to) && p.OnChange != nil {
+		p.OnChange(peer, from, to)
+	}
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://replica-%d:9090", i)
+	}
+	return peers
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}, 0); err == nil {
+		t.Fatal("empty peer address accepted")
+	}
+	if _, err := NewRing([]string{"http://a", "http://a"}, 0); err == nil {
+		t.Fatal("duplicate peer accepted")
+	}
+}
+
+// The whole point of a static ring: every node derives identical placement,
+// regardless of the order it was handed the peer list in.
+func TestRingDeterministicAcrossPeerOrder(t *testing.T) {
+	peers := testPeers(5)
+	r1, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []string{peers[3], peers[0], peers[4], peers[2], peers[1]}
+	r2, err := NewRing(shuffled, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		if o1, o2 := r1.Owner(tenant), r2.Owner(tenant); o1 != o2 {
+			t.Fatalf("tenant %s: owner %s vs %s across peer orderings", tenant, o1, o2)
+		}
+	}
+}
+
+// Virtual nodes must spread tenants reasonably: with 3 peers and many
+// tenants, no peer should own more than double its fair share.
+func TestRingBalance(t *testing.T) {
+	peers := testPeers(3)
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tenants = 3000
+	counts := make(map[string]int)
+	for i := 0; i < tenants; i++ {
+		counts[r.Owner(fmt.Sprintf("tenant-%d", i))]++
+	}
+	fair := tenants / len(peers)
+	for _, p := range peers {
+		if counts[p] == 0 {
+			t.Fatalf("peer %s owns no tenants", p)
+		}
+		if counts[p] > 2*fair {
+			t.Fatalf("peer %s owns %d of %d tenants (fair share %d)", p, counts[p], tenants, fair)
+		}
+	}
+}
+
+// Fixed-width sequential names are the adversarial case for the hash:
+// raw FNV-64a moves by a small multiple of its prime per trailing-digit
+// step, so without the avalanche finalizer an entire zero-padded tenant
+// population clusters into a sliver of the circle owned by one or two
+// replicas (a three-replica smoke run really did place 200 of 200 tenants
+// on two of them). The finalizer must keep this population spread.
+func TestRingBalanceSequentialNames(t *testing.T) {
+	peers := []string{"http://127.0.0.1:8341", "http://127.0.0.1:8342", "http://127.0.0.1:8343"}
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tenants = 200
+	counts := make(map[string]int)
+	for i := 0; i < tenants; i++ {
+		counts[r.Owner(fmt.Sprintf("tenant-%03d", i))]++
+	}
+	fair := tenants / len(peers)
+	for _, p := range peers {
+		if counts[p] == 0 {
+			t.Fatalf("peer %s owns no tenants: %v", p, counts)
+		}
+		if counts[p] > 2*fair {
+			t.Fatalf("peer %s owns %d of %d tenants (fair share %d): %v", p, counts[p], tenants, fair, counts)
+		}
+	}
+}
+
+// Removing one peer must only move that peer's tenants; every other
+// placement is untouched — the consistent-hash property migration relies
+// on (only the drained node's sessions travel).
+func TestRingMinimalMovementOnPeerLoss(t *testing.T) {
+	peers := testPeers(4)
+	r, err := NewRing(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := peers[2]
+	eligible := func(p string) bool { return p != down }
+	for i := 0; i < 1000; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		before := r.Owner(tenant)
+		after := r.OwnerAmong(tenant, eligible)
+		if before != down && after != before {
+			t.Fatalf("tenant %s moved %s -> %s though its owner stayed up", tenant, before, after)
+		}
+		if before == down && after == down {
+			t.Fatalf("tenant %s still placed on the ineligible peer", tenant)
+		}
+	}
+}
+
+func TestRingOwnerAmongNoEligible(t *testing.T) {
+	r, err := NewRing(testPeers(2), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.OwnerAmong("t", func(string) bool { return false }); got != "" {
+		t.Fatalf("owner among none = %q, want empty", got)
+	}
+}

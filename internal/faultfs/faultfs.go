@@ -67,6 +67,9 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	// Remove deletes a file.
 	Remove(name string) error
+	// ReadDir lists the base names of the regular files directly under dir,
+	// sorted. A missing directory satisfies errors.Is(err, fs.ErrNotExist).
+	ReadDir(dir string) ([]string, error)
 	// SyncDir fsyncs a directory, making its current entries (creations,
 	// renames, removals) crash-durable. This is the step that turns
 	// "tmp + fsync + rename" into an actually atomic durable replace.
@@ -100,6 +103,20 @@ func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
 func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 
 func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil // os.ReadDir already sorts by name
+}
 
 // SyncDir opens the directory and fsyncs it so freshly created, renamed, or
 // removed entries survive power loss. Filesystems that do not support

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -377,6 +378,26 @@ func (f *InjectFS) Remove(name string) error {
 	}
 	delete(f.entries, name)
 	return nil
+}
+
+// ReadDir implements FS over the flat namespace: the base names of the live
+// entries whose parent is dir, sorted. A directory that holds no entries is
+// indistinguishable from a missing one and lists as empty.
+func (f *InjectFS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.simpleOpLocked(); err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: err}
+	}
+	dir = filepath.Clean(dir)
+	var names []string
+	for path := range f.entries {
+		if filepath.Dir(path) == dir {
+			names = append(names, filepath.Base(path))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // SyncDir implements FS: it makes the live directory entries under dir

@@ -10,23 +10,58 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
+	"sync"
 	"time"
+
+	"mdes/internal/cluster"
 )
 
 // Client is a small helper over the server's HTTP API, used by the end-to-end
 // tests and the load generator — and usable by any Go caller that wants to
 // stream ticks without hand-rolling NDJSON.
+//
+// Against a cluster, set Peers to the same static replica list the servers
+// run with: the client then routes each tenant straight to its ring owner,
+// follows ownership redirects (307) up to MaxRedirects, fails over to
+// another replica when a connection attempt fails outright, and keeps
+// per-replica routing stats (see Stats).
 type Client struct {
-	// BaseURL is the server root, e.g. "http://127.0.0.1:8331".
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8331". Used when
+	// Peers is empty (standalone mode).
 	BaseURL string
+	// Peers enables cluster routing: the full static replica list, matching
+	// the servers' -peers configuration.
+	Peers []string
+	// Vnodes must match the servers' virtual-node count; 0 selects
+	// cluster.DefaultVnodes.
+	Vnodes int
+	// MaxRedirects caps ownership-redirect hops (and connection-failure
+	// failovers) per request. 0 selects 3. Exhausting the budget on
+	// redirects returns *RedirectError.
+	MaxRedirects int
+	// DownTTL is how long a replica that refused a connection is routed
+	// around before being tried again. 0 selects 2s.
+	DownTTL time.Duration
 	// Model optionally pins sessions to a named model (?model=).
 	Model string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to http.DefaultClient. Redirects are handled by
+	// the client itself (the budget must be enforced and counted), so the
+	// HTTP client's own redirect policy is bypassed.
 	HTTPClient *http.Client
 	// Retry configures PushTicksRetry's backoff. The zero value uses the
 	// defaults documented on RetryPolicy.
 	Retry RetryPolicy
+
+	ringOnce sync.Once
+	ring     *cluster.Ring
+	ringErr  error
+
+	mu        sync.Mutex
+	down      map[string]time.Time // replica -> routed around until
+	redirects int64
+	ticksSent map[string]int64 // replica -> ticks acknowledged
 }
 
 // RetryPolicy shapes PushTicksRetry's backoff on 429 responses: jittered
@@ -78,13 +113,33 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
-// BusyError reports a 429 backpressure response and the server's retry hint.
+// BusyError reports a backpressure response — 429, or a 503 that carried a
+// Retry-After hint (draining peer, owner unreachable, or a tenant
+// mid-migration) — and the server's retry hint. The request consumed no
+// ticks; resending the same batch is safe.
 type BusyError struct {
 	RetryAfter time.Duration
 }
 
 func (e *BusyError) Error() string {
 	return fmt.Sprintf("serve: busy, retry after %s", e.RetryAfter)
+}
+
+// RedirectError reports that a request was still being redirected when the
+// redirect budget ran out — typically mid-rebalance, while tenant ownership
+// is moving between replicas. Like a 429, no ticks were consumed; back off
+// (honouring RetryAfter) and resend, and routing re-resolves the owner.
+type RedirectError struct {
+	// Location is the last owner address the cluster pointed at.
+	Location string
+	// RetryAfter is the hint from the final redirect response.
+	RetryAfter time.Duration
+	// Hops is how many redirects were followed before giving up.
+	Hops int
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("serve: still redirected after %d hops (last to %s)", e.Hops, e.Location)
 }
 
 func (c *Client) http() *http.Client {
@@ -94,9 +149,155 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// doNoRedirect issues the request with automatic redirect-following
+// disabled: ownership 307s must surface to the routing loop, where the
+// budget is enforced and the hop counted.
+func (c *Client) doNoRedirect(req *http.Request) (*http.Response, error) {
+	hc := *c.http()
+	hc.CheckRedirect = func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse }
+	return hc.Do(req)
+}
+
+func (c *Client) maxRedirects() int {
+	if c.MaxRedirects > 0 {
+		return c.MaxRedirects
+	}
+	return 3
+}
+
+func (c *Client) downTTL() time.Duration {
+	if c.DownTTL > 0 {
+		return c.DownTTL
+	}
+	return 2 * time.Second
+}
+
+// clusterRing lazily builds the routing ring from Peers.
+func (c *Client) clusterRing() (*cluster.Ring, error) {
+	c.ringOnce.Do(func() { c.ring, c.ringErr = cluster.NewRing(c.Peers, c.Vnodes) })
+	return c.ring, c.ringErr
+}
+
+// baseFor picks the replica to contact first for a tenant: its ring owner,
+// skipping replicas recently seen down. With every candidate down-listed
+// the plain owner is returned anyway — someone has to be asked.
+func (c *Client) baseFor(tenant string) (string, error) {
+	if len(c.Peers) == 0 {
+		return c.BaseURL, nil
+	}
+	ring, err := c.clusterRing()
+	if err != nil {
+		return "", err
+	}
+	now := time.Now()
+	c.mu.Lock()
+	owner := ring.OwnerAmong(tenant, func(p string) bool { return c.down[p].Before(now) })
+	c.mu.Unlock()
+	if owner == "" {
+		owner = ring.Owner(tenant)
+	}
+	return owner, nil
+}
+
+// markDown routes around a replica for DownTTL after a connection failure.
+func (c *Client) markDown(replica string) {
+	if len(c.Peers) == 0 || replica == "" {
+		return
+	}
+	c.mu.Lock()
+	if c.down == nil {
+		c.down = make(map[string]time.Time)
+	}
+	c.down[replica] = time.Now().Add(c.downTTL())
+	c.mu.Unlock()
+}
+
+// fallback picks any peer other than avoid that is not down-listed.
+func (c *Client) fallback(avoid string) (string, bool) {
+	ring, err := c.clusterRing()
+	if err != nil {
+		return "", false
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range ring.Peers() {
+		if p != avoid && c.down[p].Before(now) {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+func (c *Client) noteRedirect() {
+	c.mu.Lock()
+	c.redirects++
+	c.mu.Unlock()
+}
+
+func (c *Client) noteTicks(replica string, n int) {
+	c.mu.Lock()
+	if c.ticksSent == nil {
+		c.ticksSent = make(map[string]int64)
+	}
+	c.ticksSent[replica] += int64(n)
+	c.mu.Unlock()
+}
+
+// ClientStats is a snapshot of the client's routing counters.
+type ClientStats struct {
+	// Redirects counts ownership redirects followed.
+	Redirects int64
+	// TicksByReplica counts acknowledged ticks per replica base URL.
+	TicksByReplica map[string]int64
+}
+
+// Stats returns a copy of the routing counters accumulated so far.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := ClientStats{Redirects: c.redirects, TicksByReplica: make(map[string]int64, len(c.ticksSent))}
+	for r, n := range c.ticksSent {
+		out.TicksByReplica[r] = n
+	}
+	return out
+}
+
+// baseOfLocation extracts the replica base URL ("scheme://host") from a
+// redirect Location.
+func baseOfLocation(loc string) (string, error) {
+	u, err := url.Parse(loc)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return "", fmt.Errorf("serve: unusable redirect location %q", loc)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+func isRedirect(code int) bool {
+	return code == http.StatusTemporaryRedirect || code == http.StatusPermanentRedirect ||
+		code == http.StatusFound || code == http.StatusMovedPermanently
+}
+
+// retryHint reads a Retry-After header; missing or unparseable selects
+// fallback.
+func retryHint(resp *http.Response, fallback time.Duration) time.Duration {
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return fallback
+}
+
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	_ = resp.Body.Close() // response already handled; nothing to report
+}
+
 // PushTicks streams ticks to a tenant's session and returns the detection
-// points emitted for them. A 429 surfaces as *BusyError so callers can back
-// off and resend the same batch (the server consumed none of it).
+// points emitted for them. Backpressure (429, or 503 with a Retry-After)
+// surfaces as *BusyError and a blown redirect budget as *RedirectError; in
+// both cases the server consumed none of the batch, so callers can back off
+// and resend it. Ownership redirects are followed transparently within the
+// budget.
 func (c *Client) PushTicks(ctx context.Context, tenant string, ticks []map[string]string) ([]WirePoint, error) {
 	var body bytes.Buffer
 	enc := json.NewEncoder(&body)
@@ -105,36 +306,84 @@ func (c *Client) PushTicks(ctx context.Context, tenant string, ticks []map[strin
 			return nil, err
 		}
 	}
-	url := c.BaseURL + "/v1/streams/" + tenant + "/ticks"
+	payload := body.Bytes()
+	base, err := c.baseFor(tenant)
+	if err != nil {
+		return nil, err
+	}
+	path := "/v1/streams/" + tenant + "/ticks"
 	if c.Model != "" {
-		url += "?model=" + c.Model
+		path += "?model=" + c.Model
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &body)
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-
-	if resp.StatusCode == http.StatusTooManyRequests {
-		retry := time.Second
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			retry = time.Duration(secs) * time.Second
+	target := base + path
+	for hop := 0; ; hop++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
 		}
-		io.Copy(io.Discard, resp.Body)
-		return nil, &BusyError{RetryAfter: retry}
-	}
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("serve: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		resp, err := c.doNoRedirect(req)
+		if err != nil {
+			// Connection-level failure: nothing was consumed. Route around
+			// the replica and ask another one — it serves the tenant, or
+			// redirects to whoever should.
+			if ctx.Err() == nil && len(c.Peers) > 0 && hop < c.maxRedirects() {
+				c.markDown(base)
+				if alt, ok := c.fallback(base); ok {
+					base, target = alt, alt+path
+					continue
+				}
+			}
+			return nil, err
+		}
 
+		switch {
+		case isRedirect(resp.StatusCode):
+			loc := resp.Header.Get("Location")
+			hint := retryHint(resp, 0)
+			drainBody(resp)
+			next, err := baseOfLocation(loc)
+			if err != nil {
+				return nil, err
+			}
+			c.noteRedirect()
+			if hop >= c.maxRedirects() {
+				return nil, &RedirectError{Location: loc, RetryAfter: hint, Hops: hop + 1}
+			}
+			base, target = next, loc
+			continue
+
+		case resp.StatusCode == http.StatusTooManyRequests:
+			hint := retryHint(resp, time.Second)
+			drainBody(resp)
+			return nil, &BusyError{RetryAfter: hint}
+
+		case resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") != "":
+			// Transient cluster states: draining, owner unreachable, or a
+			// tenant whose handoff is still in flight. No ticks consumed.
+			hint := retryHint(resp, time.Second)
+			drainBody(resp)
+			return nil, &BusyError{RetryAfter: hint}
+
+		case resp.StatusCode != http.StatusOK:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			_ = resp.Body.Close() // error text already captured
+			return nil, fmt.Errorf("serve: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		}
+
+		points, err := c.decodePoints(resp.Body)
+		_ = resp.Body.Close() // stream fully consumed (or err is the report)
+		if err == nil {
+			c.noteTicks(base, len(ticks))
+		}
+		return points, err
+	}
+}
+
+// decodePoints parses the NDJSON response stream.
+func (c *Client) decodePoints(r io.Reader) ([]WirePoint, error) {
 	var points []WirePoint
-	sc := bufio.NewScanner(resp.Body)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), maxTickLine)
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
@@ -153,36 +402,42 @@ func (c *Client) PushTicks(ctx context.Context, tenant string, ticks []map[strin
 		}
 		points = append(points, p)
 	}
-	if err := sc.Err(); err != nil {
-		return points, err
-	}
-	return points, nil
+	return points, sc.Err()
 }
 
-// PushTicksRetry is PushTicks with backpressure handling: on 429 it backs
-// off — jittered exponential, but never shorter than the server's
-// Retry-After hint — and resends the same batch (the server consumed none of
-// it). Any other error, including a partial-batch NDJSON trailer, returns
-// immediately: those ticks were partially consumed and a blind resend would
-// misalign the stream. When the attempt cap is exhausted the last *BusyError
-// is returned, so callers can still distinguish "busy" from "broken".
+// PushTicksRetry is PushTicks with backpressure handling: on *BusyError or
+// *RedirectError it backs off — jittered exponential, but never shorter
+// than the server's Retry-After hint — and resends the same batch (both
+// error classes guarantee the server consumed none of it; redirect storms
+// during a rebalance settle once the handoff lands). Any other error,
+// including a partial-batch NDJSON trailer, returns immediately: those
+// ticks were partially consumed and a blind resend would misalign the
+// stream. When the attempt cap is exhausted the last busy/redirect error is
+// returned, so callers can still distinguish "busy" from "broken".
 func (c *Client) PushTicksRetry(ctx context.Context, tenant string, ticks []map[string]string) ([]WirePoint, error) {
 	pol := c.Retry.withDefaults()
 	delay := pol.BaseDelay
-	var lastBusy *BusyError
+	var lastErr error
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		points, err := c.PushTicks(ctx, tenant, ticks)
+		var hint time.Duration
 		var busy *BusyError
-		if !errors.As(err, &busy) {
+		var redir *RedirectError
+		switch {
+		case errors.As(err, &busy):
+			hint = busy.RetryAfter
+		case errors.As(err, &redir):
+			hint = redir.RetryAfter
+		default:
 			return points, err
 		}
-		lastBusy = busy
+		lastErr = err
 		if attempt == pol.MaxAttempts-1 {
 			break
 		}
 		wait := delay/2 + time.Duration(pol.Jitter()*float64(delay/2))
-		if busy.RetryAfter > wait {
-			wait = busy.RetryAfter
+		if hint > wait {
+			wait = hint
 		}
 		if err := pol.Sleep(ctx, wait); err != nil {
 			return nil, err
@@ -192,17 +447,53 @@ func (c *Client) PushTicksRetry(ctx context.Context, tenant string, ticks []map[
 			delay = pol.MaxDelay
 		}
 	}
-	return nil, lastBusy
+	return nil, lastErr
+}
+
+// doTenant performs a bodyless tenant-scoped request, routing by ring and
+// following ownership redirects (with connection failover) within the
+// redirect budget. The caller owns the returned response body.
+func (c *Client) doTenant(ctx context.Context, method, tenant, path string) (*http.Response, error) {
+	base, err := c.baseFor(tenant)
+	if err != nil {
+		return nil, err
+	}
+	target := base + path
+	for hop := 0; ; hop++ {
+		req, err := http.NewRequestWithContext(ctx, method, target, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.doNoRedirect(req)
+		if err != nil {
+			if ctx.Err() == nil && len(c.Peers) > 0 && hop < c.maxRedirects() {
+				c.markDown(base)
+				if alt, ok := c.fallback(base); ok {
+					base, target = alt, alt+path
+					continue
+				}
+			}
+			return nil, err
+		}
+		if isRedirect(resp.StatusCode) && hop < c.maxRedirects() {
+			loc := resp.Header.Get("Location")
+			drainBody(resp)
+			next, err := baseOfLocation(loc)
+			if err != nil {
+				return nil, err
+			}
+			c.noteRedirect()
+			base, target = next, loc
+			continue
+		}
+		return resp, nil
+	}
 }
 
 // Session fetches a tenant's session info (live or snapshotted).
 func (c *Client) Session(ctx context.Context, tenant string) (SessionInfo, error) {
 	var info SessionInfo
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/streams/"+tenant, nil)
-	if err != nil {
-		return info, err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.doTenant(ctx, http.MethodGet, tenant, "/v1/streams/"+tenant)
 	if err != nil {
 		return info, err
 	}
@@ -216,11 +507,7 @@ func (c *Client) Session(ctx context.Context, tenant string) (SessionInfo, error
 
 // EndSession deletes a tenant's session and snapshot.
 func (c *Client) EndSession(ctx context.Context, tenant string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/streams/"+tenant, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.doTenant(ctx, http.MethodDelete, tenant, "/v1/streams/"+tenant)
 	if err != nil {
 		return err
 	}
@@ -232,9 +519,14 @@ func (c *Client) EndSession(ctx context.Context, tenant string) error {
 	return nil
 }
 
-// Ready polls /readyz once.
+// Ready polls /readyz once. In cluster mode BaseURL may be unset; the first
+// configured peer is asked.
 func (c *Client) Ready(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	base := c.BaseURL
+	if base == "" && len(c.Peers) > 0 {
+		base = c.Peers[0]
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,608 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdes/internal/cluster"
+)
+
+// Cluster mode turns N independent mdes-serve replicas into one sharded
+// deployment. The pieces, and the invariants they keep:
+//
+//   - Single owner: a consistent-hash ring over the static peer list
+//     assigns every tenant to exactly one replica. Non-owners never touch a
+//     tenant's stream — they answer 307 with the owner's address (or 503
+//     when the owner is unreachable, because an unreachable owner still
+//     OWNS: its tenants' state is on its disk, and adopting them fresh
+//     would silently diverge).
+//   - Boundary-aligned moves: a migration freezes the session by taking its
+//     mutex, which serialises with tick requests — the snapshot is always
+//     taken at a request boundary, never mid-stream.
+//   - Idempotent handoff: the snapshot ships CRC-framed; the receiver keeps
+//     whichever state has consumed more ticks, so retries, crossed
+//     deliveries, and duplicate ships are all no-ops.
+//   - No fresh-start races: a replica that learns it is about to receive a
+//     tenant (via a drain announcement or a join reply) holds that tenant
+//     "pending" and answers its ticks 503 + Retry-After until the handoff
+//     lands, bounded by PendingTTL.
+type clusterNode struct {
+	self   string
+	ring   *cluster.Ring
+	mem    *cluster.Membership
+	sender *cluster.Sender
+	prober *cluster.Prober
+	httpc  *http.Client
+
+	joined     atomic.Bool
+	pendingTTL time.Duration
+
+	// ctx bounds all background cluster IO (join hellos, rebalance ships);
+	// Shutdown cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	pending map[string]time.Time // tenant -> deadline for its inbound handoff
+}
+
+// maxHandoffBody bounds one inbound handoff request body. Session snapshots
+// are rolling windows, far below this.
+const maxHandoffBody = 1 << 26
+
+// setupCluster wires the cluster node from Options; a nil return with
+// s.cluster == nil means standalone mode.
+func (s *Server) setupCluster(opts Options) error {
+	if len(opts.Peers) == 0 && opts.Advertise == "" {
+		return nil
+	}
+	if len(opts.Peers) == 0 || opts.Advertise == "" {
+		return errors.New("serve: Peers and Advertise must be set together")
+	}
+	ring, err := cluster.NewRing(opts.Peers, opts.Vnodes)
+	if err != nil {
+		return err
+	}
+	self := false
+	for _, p := range ring.Peers() {
+		if p == opts.Advertise {
+			self = true
+		}
+	}
+	if !self {
+		return fmt.Errorf("serve: Advertise %q is not in Peers", opts.Advertise)
+	}
+	ttl := opts.PendingTTL
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	httpc := opts.ClusterClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cn := &clusterNode{
+		self:       opts.Advertise,
+		ring:       ring,
+		mem:        cluster.NewMembership(ring.Peers()),
+		sender:     &cluster.Sender{HTTPClient: httpc},
+		httpc:      httpc,
+		pendingTTL: ttl,
+		ctx:        ctx,
+		cancel:     cancel,
+		pending:    make(map[string]time.Time),
+	}
+	cn.prober = &cluster.Prober{
+		Peers:    ring.Peers(),
+		Self:     cn.self,
+		Mem:      cn.mem,
+		Probe:    s.probePeer,
+		Interval: opts.ProbeInterval,
+	}
+	s.cluster = cn
+	return nil
+}
+
+// stopCluster halts the background cluster machinery; safe without one.
+func (s *Server) stopCluster() {
+	if cn := s.cluster; cn != nil {
+		cn.cancel()
+		cn.prober.Stop()
+	}
+}
+
+// probePeer is the Prober's health check: one GET of the peer's /healthz.
+// It runs on the prober's own goroutines, never under any lock.
+func (s *Server) probePeer(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.cluster.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+	_ = resp.Body.Close() // health verdict is the status code, already read
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: peer %s health %s", peer, resp.Status)
+	}
+	return nil
+}
+
+// clusterJoin announces this replica to every peer and collects, from each
+// reply, the tenants that peer holds but this replica owns — they become
+// pending until their handoffs land. Runs once in the background at
+// startup; the server answers tenant requests 503 until it completes.
+func (s *Server) clusterJoin() {
+	cn := s.cluster
+	for _, p := range cn.ring.Peers() {
+		if p == cn.self || cn.ctx.Err() != nil {
+			continue
+		}
+		reply, err := cn.sender.SendUpdate(cn.ctx, p, cluster.PeerUpdate{Kind: "hello", From: cn.self})
+		if err != nil {
+			// Peer down or mid-restart: the prober tracks it, and when it
+			// rejoins its own hello triggers the exchange from its side.
+			continue
+		}
+		cn.setPending(reply.Tenants)
+	}
+	if cn.ctx.Err() != nil {
+		return
+	}
+	cn.joined.Store(true)
+	// Ship anything held here that the ring assigns elsewhere — state
+	// stranded by a failed drain or an ownership change while this
+	// replica was down.
+	s.shipMisplaced()
+}
+
+// owner resolves the tenant's owner under this replica's current view:
+// Alive and Down peers own their ranges; Leaving/Gone peers have given
+// theirs up. One membership snapshot per resolution keeps the ring walk
+// lock-free.
+func (cn *clusterNode) owner(tenant string) string {
+	states := cn.mem.Snapshot()
+	return cn.ring.OwnerAmong(tenant, func(p string) bool {
+		st := states[p]
+		return st == cluster.Alive || st == cluster.Down
+	})
+}
+
+// pendingVerdict classifies a tenant's pending-handoff state.
+type pendingVerdict int
+
+const (
+	pendingNone pendingVerdict = iota
+	pendingWaiting
+	pendingExpired
+)
+
+func (cn *clusterNode) setPending(tenants []string) {
+	if len(tenants) == 0 {
+		return
+	}
+	deadline := time.Now().Add(cn.pendingTTL)
+	cn.mu.Lock()
+	for _, t := range tenants {
+		cn.pending[t] = deadline
+	}
+	cn.mu.Unlock()
+}
+
+func (cn *clusterNode) clearPending(tenant string) {
+	cn.mu.Lock()
+	delete(cn.pending, tenant)
+	cn.mu.Unlock()
+}
+
+// checkPending reports whether tenant's ticks must wait for an inbound
+// handoff. An entry past its TTL is dropped: the handoff is presumed lost
+// and the tenant serves from whatever state exists locally.
+func (cn *clusterNode) checkPending(tenant string) pendingVerdict {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	deadline, ok := cn.pending[tenant]
+	if !ok {
+		return pendingNone
+	}
+	if time.Now().After(deadline) {
+		delete(cn.pending, tenant)
+		return pendingExpired
+	}
+	return pendingWaiting
+}
+
+func (cn *clusterNode) pendingCount() int {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return len(cn.pending)
+}
+
+// clusterGate decides whether this replica should handle a tenant-scoped
+// request. It returns true to proceed; false after writing the 307/503
+// response. checkPending gates tick ingestion behind inbound migrations;
+// read-only handlers pass false.
+func (s *Server) clusterGate(w http.ResponseWriter, r *http.Request, tenant string, checkPending bool) bool {
+	cn := s.cluster
+	if cn == nil {
+		return true
+	}
+	if !cn.joined.Load() {
+		s.retryAfterHeader(w)
+		http.Error(w, "cluster join in progress", http.StatusServiceUnavailable)
+		return false
+	}
+	if owner := cn.owner(tenant); owner != cn.self {
+		s.clusterMisroute(w, r, tenant, owner)
+		return false
+	}
+	if checkPending {
+		switch cn.checkPending(tenant) {
+		case pendingWaiting:
+			if s.reg.get(tenant) != nil {
+				// The handoff already landed (installs can race the
+				// pending announcement); the stale entry must not block.
+				cn.clearPending(tenant)
+				return true
+			}
+			s.met.clusterPendingWaits.Add(1)
+			s.retryAfterHeader(w)
+			http.Error(w, fmt.Sprintf("tenant %q migration in progress", tenant), http.StatusServiceUnavailable)
+			return false
+		case pendingExpired:
+			s.met.clusterPendingExpired.Add(1)
+		}
+	}
+	return true
+}
+
+// clusterMisroute answers a request for a tenant owned elsewhere: 307 with
+// the owner's address, or 503 when the owner is known-unreachable (its
+// state is stranded with it; the client must retry until it returns).
+func (s *Server) clusterMisroute(w http.ResponseWriter, r *http.Request, tenant, owner string) {
+	cn := s.cluster
+	if owner == "" || cn.mem.Get(owner) == cluster.Down {
+		s.retryAfterHeader(w)
+		http.Error(w, fmt.Sprintf("tenant %q owner is unreachable", tenant), http.StatusServiceUnavailable)
+		return
+	}
+	s.met.clusterRedirects.Add(1)
+	w.Header().Set("Location", owner+r.URL.RequestURI())
+	s.retryAfterHeader(w)
+	http.Error(w, fmt.Sprintf("tenant %q is owned by %s", tenant, owner), http.StatusTemporaryRedirect)
+}
+
+// localTenants enumerates every tenant with state on this replica:
+// resident sessions plus disk snapshots.
+func (s *Server) localTenants() []string {
+	seen := make(map[string]struct{})
+	for _, sess := range s.reg.all() {
+		seen[sess.tenant] = struct{}{}
+	}
+	if s.opts.SnapshotDir != "" {
+		names, err := listSnapshots(s.fs, s.opts.SnapshotDir)
+		if err != nil {
+			s.met.snapshotLoadErrors.Add(1)
+		}
+		for _, t := range names {
+			seen[t] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tenantsOwnedBy returns the locally held tenants whose ring owner is peer.
+func (s *Server) tenantsOwnedBy(peer string) []string {
+	cn := s.cluster
+	var out []string
+	for _, t := range s.localTenants() {
+		if cn.owner(t) == peer {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// shipMisplaced ships every locally held tenant whose owner is another
+// (reachable) replica. Idempotent: a duplicate ship is dropped by the
+// receiver's more-ticks-wins rule.
+func (s *Server) shipMisplaced() {
+	cn := s.cluster
+	for _, tenant := range s.localTenants() {
+		if cn.ctx.Err() != nil {
+			return
+		}
+		owner := cn.owner(tenant)
+		if owner == "" || owner == cn.self || cn.mem.Get(owner) != cluster.Alive {
+			continue
+		}
+		_ = s.shipTenant(cn.ctx, owner, tenant)
+	}
+}
+
+// shipTenants ships the named tenants to peer, re-checking ownership per
+// tenant in case the view moved since the list was computed.
+func (s *Server) shipTenants(peer string, tenants []string) {
+	cn := s.cluster
+	for _, t := range tenants {
+		if cn.ctx.Err() != nil {
+			return
+		}
+		if cn.owner(t) != peer {
+			continue
+		}
+		_ = s.shipTenant(cn.ctx, peer, t)
+	}
+}
+
+// shipTenant freezes one tenant's state and ships it to peer. The freeze
+// takes the session mutex, so it serialises after any in-flight tick
+// request — the snapshot is request-boundary aligned by construction. On a
+// successful ack the local snapshot is deleted (the receiver holds the only
+// authoritative copy now); on failure the frozen state is persisted back so
+// nothing is lost. All network IO happens after every lock is released.
+func (s *Server) shipTenant(ctx context.Context, peer, tenant string) error {
+	cn := s.cluster
+	var snap sessionSnapshot
+	have, frozen := false, false
+	if sess := s.reg.get(tenant); sess != nil {
+		sess.mu.Lock()
+		if !sess.gone {
+			sess.gone = true
+			snap = snapshotOfLocked(sess)
+			have, frozen = true, true
+			s.reg.remove(sess)
+		}
+		sess.mu.Unlock()
+	}
+	if !have && s.opts.SnapshotDir != "" {
+		var ok bool
+		var err error
+		snap, ok, err = loadSnapshot(s.fs, s.opts.SnapshotDir, tenant)
+		if err != nil {
+			s.met.snapshotLoadErrors.Add(1)
+			return err
+		}
+		have = ok
+	}
+	if !have {
+		return nil // nothing to ship (e.g. deleted concurrently)
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		s.met.clusterHandoffErrors.Add(1)
+		return fmt.Errorf("serve: encode handoff for %q: %w", tenant, err)
+	}
+	h := cluster.Handoff{
+		Tenant:  tenant,
+		Model:   snap.Model,
+		Ticks:   snap.Stream.Ticks,
+		From:    cn.self,
+		Payload: payload,
+	}
+	if err := cn.sender.Send(ctx, peer, h); err != nil {
+		s.met.clusterHandoffErrors.Add(1)
+		if frozen && s.opts.SnapshotDir != "" {
+			if err2 := saveSnapshot(s.fs, s.opts.SnapshotDir, tenant, snap); err2 != nil {
+				s.met.snapshotErrors.Add(1)
+			}
+		}
+		return err
+	}
+	s.met.clusterHandoffsSent.Add(1)
+	if s.opts.SnapshotDir != "" {
+		_ = deleteSnapshot(s.fs, s.opts.SnapshotDir, tenant)
+	}
+	return nil
+}
+
+// handleHandoff is POST /v1/cluster/handoff: decode, validate, restore, and
+// install one migrated tenant. The expensive work (CRC check, JSON decode,
+// stream restore) happens before any lock; installation compares tick
+// counts so a duplicate or stale delivery acks 200 without touching state.
+func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	cn := s.cluster
+	if s.draining.Load() {
+		// A drainer must not accept new tenants; the sender retries
+		// against the next view.
+		s.retryAfterHeader(w)
+		http.Error(w, "server is draining", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxHandoffBody))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read handoff: %v", err), http.StatusBadRequest)
+		return
+	}
+	h, err := cluster.DecodeHandoff(body)
+	if err != nil {
+		s.met.clusterHandoffErrors.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var snap sessionSnapshot
+	if err := json.Unmarshal(h.Payload, &snap); err != nil {
+		s.met.clusterHandoffErrors.Add(1)
+		http.Error(w, fmt.Sprintf("decode handoff payload: %v", err), http.StatusBadRequest)
+		return
+	}
+	if snap.Tenant != h.Tenant {
+		s.met.clusterHandoffErrors.Add(1)
+		http.Error(w, "handoff tenant mismatch", http.StatusBadRequest)
+		return
+	}
+	model, ok := s.opts.Models[snap.Model]
+	if !ok {
+		s.met.clusterHandoffErrors.Add(1)
+		http.Error(w, fmt.Sprintf("unknown model %q", snap.Model), http.StatusBadRequest)
+		return
+	}
+	stream, err := model.RestoreStream(snap.Stream)
+	if err != nil {
+		s.met.clusterHandoffErrors.Add(1)
+		http.Error(w, fmt.Sprintf("restore stream: %v", err), http.StatusBadRequest)
+		return
+	}
+	stream.SetScorer(s.scorer)
+
+	s.reg.mu.Lock()
+	if existing := s.reg.sessions[snap.Tenant]; existing != nil {
+		if !existing.mu.TryLock() {
+			s.reg.mu.Unlock()
+			s.retryAfterHeader(w)
+			http.Error(w, fmt.Sprintf("tenant %q busy", snap.Tenant), http.StatusServiceUnavailable)
+			return
+		}
+		if existing.stream.Ticks() >= snap.Stream.Ticks {
+			// Duplicate or stale: local state already covers it.
+			existing.mu.Unlock()
+			s.reg.mu.Unlock()
+			cn.clearPending(snap.Tenant)
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		existing.gone = true
+		existing.mu.Unlock()
+		delete(s.reg.sessions, snap.Tenant)
+	} else if s.opts.SnapshotDir != "" {
+		//mdes:allow(lockcall) install must be atomic with the registry check; one snapshot read on the migration path only, never per-tick
+		old, ok, err := loadSnapshot(s.fs, s.opts.SnapshotDir, snap.Tenant)
+		if err == nil && ok && old.Stream.Ticks >= snap.Stream.Ticks {
+			s.reg.mu.Unlock()
+			cn.clearPending(snap.Tenant)
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+	}
+	sess := &session{
+		tenant:    snap.Tenant,
+		model:     snap.Model,
+		stream:    stream,
+		lastScore: snap.LastScore,
+		degraded:  snap.Degraded,
+		dirty:     true,
+		lastUsed:  time.Now(),
+	}
+	s.reg.sessions[snap.Tenant] = sess
+	s.reg.mu.Unlock()
+
+	// Persist before acking: the ack authorises the sender to delete its
+	// copy, so the durable one must exist here first. A write failure is
+	// tolerated the same way ordinary snapshot failures are (counter +
+	// in-memory state), and the sender's retry dedupes as a no-op.
+	if s.opts.SnapshotDir != "" {
+		sess.mu.Lock()
+		//mdes:allow(lockcall) persist-before-ack on the migration path only, never per-tick; the session lock pins the exact state being acknowledged
+		s.persistLocked(sess)
+		sess.mu.Unlock()
+	}
+	cn.clearPending(snap.Tenant)
+	s.met.clusterHandoffsReceived.Add(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleClusterUpdate is POST /v1/cluster/update: peer announcements.
+// "hello" marks the sender alive and replies with the tenants it should now
+// own (then ships them in the background); "leave" marks it gone and pends
+// the tenants it is about to ship here.
+func (s *Server) handleClusterUpdate(w http.ResponseWriter, r *http.Request) {
+	cn := s.cluster
+	var u cluster.PeerUpdate
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&u); err != nil {
+		http.Error(w, fmt.Sprintf("decode update: %v", err), http.StatusBadRequest)
+		return
+	}
+	known := false
+	for _, p := range cn.ring.Peers() {
+		if p == u.From {
+			known = true
+		}
+	}
+	if !known {
+		http.Error(w, fmt.Sprintf("unknown peer %q", u.From), http.StatusBadRequest)
+		return
+	}
+	switch u.Kind {
+	case "hello":
+		cn.mem.Set(u.From, cluster.Alive)
+		held := s.tenantsOwnedBy(u.From)
+		writeJSON(w, cluster.PeerUpdateReply{Tenants: held})
+		if len(held) > 0 && !s.draining.Load() {
+			go s.shipTenants(u.From, held)
+		}
+	case "leave":
+		cn.mem.Set(u.From, cluster.Gone)
+		cn.setPending(u.Tenants)
+		writeJSON(w, cluster.PeerUpdateReply{})
+	default:
+		http.Error(w, fmt.Sprintf("unknown update kind %q", u.Kind), http.StatusBadRequest)
+	}
+}
+
+// DrainToPeers migrates every locally held tenant to its new owner: mark
+// self leaving (ownership rehashes onto the survivors), announce the drain
+// to every peer — receivers pend the tenants they are about to own, closing
+// the window where a rerouted tick could fresh-start a divergent stream —
+// then freeze and ship each tenant. Call it on SIGTERM while the HTTP
+// listener is still accepting, so peers and clients can still be answered;
+// shut the listener down after it returns. Returns how many tenants moved.
+func (s *Server) DrainToPeers(ctx context.Context) (moved int, err error) {
+	cn := s.cluster
+	if cn == nil {
+		return 0, nil
+	}
+	s.BeginDrain()
+	cn.mem.Set(cn.self, cluster.Leaving)
+
+	plan := make(map[string][]string)
+	var firstErr error
+	for _, t := range s.localTenants() {
+		owner := cn.owner(t)
+		if owner == "" || owner == cn.self || cn.mem.Get(owner) != cluster.Alive {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("serve: no live owner to drain tenant %q to", t)
+			}
+			continue
+		}
+		plan[owner] = append(plan[owner], t)
+	}
+	for _, p := range cn.ring.Peers() {
+		if p == cn.self {
+			continue
+		}
+		if _, err := cn.sender.SendUpdate(ctx, p, cluster.PeerUpdate{Kind: "leave", From: cn.self, Tenants: plan[p]}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for p, tenants := range plan {
+		for _, t := range tenants {
+			if err := ctx.Err(); err != nil {
+				return moved, err
+			}
+			if err := s.shipTenant(ctx, p, t); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			moved++
+		}
+	}
+	cn.mem.Set(cn.self, cluster.Gone)
+	return moved, firstErr
+}

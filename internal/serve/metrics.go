@@ -34,6 +34,15 @@ type metrics struct {
 	scoreBatches   atomic.Int64 // ScoreBatch calls issued by pool workers
 	scoreBatchJobs atomic.Int64 // jobs scored through batched calls
 
+	// Cluster-mode counters (rendered only when clustering is on):
+	// ownership answers, migrations, and the pending-handoff gate.
+	clusterRedirects        atomic.Int64 // misrouted requests answered 307
+	clusterHandoffsSent     atomic.Int64 // tenant snapshots shipped and acked
+	clusterHandoffsReceived atomic.Int64 // tenant snapshots installed
+	clusterHandoffErrors    atomic.Int64 // handoffs that failed to ship or decode
+	clusterPendingWaits     atomic.Int64 // ticks answered 503 awaiting a handoff
+	clusterPendingExpired   atomic.Int64 // pending entries that hit their TTL
+
 	scoreLatency histogram
 }
 
@@ -122,4 +131,18 @@ func (m *metrics) write(w io.Writer, sessionsLive, inflight, queueDepth int) {
 	gauge(w, "mdes_serve_inflight_requests", "Tick requests currently admitted.", float64(inflight))
 	gauge(w, "mdes_serve_score_queue_depth", "Pairwise scoring jobs waiting for a pool worker.", float64(queueDepth))
 	m.scoreLatency.write(w, "mdes_serve_score_latency_seconds", "Latency of one pairwise relationship scoring call.")
+}
+
+// writeCluster renders the cluster-mode metrics. Only called when the
+// server runs clustered, so standalone /metrics output is unchanged.
+func (m *metrics) writeCluster(w io.Writer, peersAlive, pendingTenants, ownedTenants int) {
+	counter(w, "mdes_serve_cluster_redirects_total", "Misrouted tenant requests answered with 307 + owner address.", m.clusterRedirects.Load())
+	counter(w, "mdes_serve_cluster_handoffs_sent_total", "Tenant snapshots shipped to a new owner and acknowledged.", m.clusterHandoffsSent.Load())
+	counter(w, "mdes_serve_cluster_handoffs_received_total", "Tenant snapshots received and installed from a peer.", m.clusterHandoffsReceived.Load())
+	counter(w, "mdes_serve_cluster_handoff_errors_total", "Handoffs that failed to ship, decode, or install.", m.clusterHandoffErrors.Load())
+	counter(w, "mdes_serve_cluster_pending_waits_total", "Tick requests answered 503 while awaiting a tenant's inbound handoff.", m.clusterPendingWaits.Load())
+	counter(w, "mdes_serve_cluster_pending_expired_total", "Pending-handoff entries that hit their TTL and served fresh.", m.clusterPendingExpired.Load())
+	gauge(w, "mdes_serve_cluster_peers_alive", "Peers this replica currently believes are alive.", float64(peersAlive))
+	gauge(w, "mdes_serve_cluster_pending_tenants", "Tenants currently awaiting an inbound handoff.", float64(pendingTenants))
+	gauge(w, "mdes_serve_cluster_owned_tenants", "Resident sessions whose ring owner is this replica.", float64(ownedTenants))
 }

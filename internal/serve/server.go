@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"mdes"
+	"mdes/internal/cluster"
 	"mdes/internal/faultfs"
 )
 
@@ -62,6 +63,27 @@ type Options struct {
 	// FS overrides the filesystem snapshots live on; the fault-injection
 	// harness passes a faultfs.InjectFS. Nil selects the real filesystem.
 	FS faultfs.FS
+
+	// Peers enables cluster mode: the full static replica list (base URLs,
+	// including this replica's own). Every replica and every routing client
+	// must be configured with the same list — tenant placement is derived
+	// from it deterministically. Empty means standalone.
+	Peers []string
+	// Advertise is this replica's own base URL exactly as it appears in
+	// Peers. Required with Peers.
+	Advertise string
+	// Vnodes overrides the ring's virtual-node count; 0 selects
+	// cluster.DefaultVnodes. All replicas and clients must agree.
+	Vnodes int
+	// ProbeInterval is the peer health-check period. 0 selects 2s.
+	ProbeInterval time.Duration
+	// PendingTTL bounds how long ticks for a tenant announced as inbound
+	// (mid-handoff) are answered 503 before the replica gives up waiting
+	// and serves from local state. 0 selects 10s.
+	PendingTTL time.Duration
+	// ClusterClient is the HTTP client for internal cluster traffic
+	// (probes, handoffs, announcements). Nil selects http.DefaultClient.
+	ClusterClient *http.Client
 }
 
 // maxTickLine bounds one NDJSON tick line; a tick is one small JSON object
@@ -82,6 +104,10 @@ type Server struct {
 	// scorer is installed on every session stream. With a ScoreDeadline it
 	// bounds each batch; tests may swap it before the first session exists.
 	scorer func(jobs []mdes.ScoreJob, row []float64) error
+
+	// cluster is non-nil in cluster mode (Options.Peers set); see
+	// cluster.go for the sharding, redirect, and handoff machinery.
+	cluster *clusterNode
 
 	slots    chan struct{} // admission tokens for tick requests
 	draining atomic.Bool
@@ -141,6 +167,11 @@ func New(opts Options) (*Server, error) {
 		s.scorer = s.pool.score
 	}
 
+	if err := s.setupCluster(opts); err != nil {
+		s.pool.close()
+		return nil, err
+	}
+
 	s.mux.HandleFunc("POST /v1/streams/{tenant}/ticks", s.handleTicks)
 	s.mux.HandleFunc("GET /v1/streams/{tenant}", s.handleSession)
 	s.mux.HandleFunc("DELETE /v1/streams/{tenant}", s.handleDelete)
@@ -148,6 +179,12 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cluster != nil {
+		s.mux.HandleFunc("POST "+cluster.HandoffPath, s.handleHandoff)
+		s.mux.HandleFunc("POST "+cluster.UpdatePath, s.handleClusterUpdate)
+		s.cluster.prober.Start()
+		go s.clusterJoin()
+	}
 
 	go s.janitor()
 	return s, nil
@@ -198,7 +235,7 @@ func (s *Server) persistLocked(v *session) {
 	if s.opts.SnapshotDir == "" || !v.dirty {
 		return
 	}
-	snap := sessionSnapshot{Tenant: v.tenant, Model: v.model, Stream: v.stream.Snapshot()}
+	snap := snapshotOfLocked(v)
 	if err := saveSnapshot(s.fs, s.opts.SnapshotDir, v.tenant, snap); err != nil {
 		s.met.snapshotErrors.Add(1)
 		return
@@ -253,6 +290,7 @@ func (s *Server) createSession(tenant, wantModel string) (*session, int, error) 
 	// read on the session-creation path only, never on the tick hot path.
 	modelName := wantModel
 	var stream *mdes.Stream
+	var restoredSnap sessionSnapshot
 	restored := false
 	if s.opts.SnapshotDir != "" {
 		//mdes:allow(lockcall) creation must be atomic: the registry lock is what stops two requests racing to restore the same tenant; this path never runs per-tick
@@ -280,6 +318,7 @@ func (s *Server) createSession(tenant, wantModel string) (*session, int, error) 
 				return nil, http.StatusInternalServerError, err
 			}
 			modelName = snap.Model
+			restoredSnap = snap
 			restored = true
 		}
 	}
@@ -296,6 +335,10 @@ func (s *Server) createSession(tenant, wantModel string) (*session, int, error) 
 	}
 	stream.SetScorer(s.scorer)
 	sess := &session{tenant: tenant, model: modelName, stream: stream, lastUsed: time.Now()}
+	if restored {
+		sess.lastScore = restoredSnap.LastScore
+		sess.degraded = restoredSnap.Degraded
+	}
 	s.reg.sessions[tenant] = sess
 
 	var victims []*session
@@ -329,7 +372,18 @@ func (s *Server) release(sess *session) {
 // (Push validates before mutating), so the client can fix and resend from
 // that line.
 func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	// Ownership first, drain and admission second: a draining cluster
+	// replica must still answer misrouted tenants with the owner's address
+	// (its own tenants are mid-migration and get 503 + Retry-After below),
+	// and a redirect must not burn an admission slot.
+	if !s.clusterGate(w, r, tenant, true) {
+		return
+	}
 	if s.draining.Load() {
+		if s.cluster != nil {
+			s.retryAfterHeader(w)
+		}
 		http.Error(w, "server is draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -337,20 +391,27 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	case s.slots <- struct{}{}:
 	default:
 		s.met.ticksRejected.Add(1)
-		secs := int(s.opts.RetryAfter.Round(time.Second) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.retryAfterHeader(w)
 		http.Error(w, "tick queue full", http.StatusTooManyRequests)
 		return
 	}
 	defer func() { <-s.slots }()
 
-	sess, status, err := s.acquire(r.PathValue("tenant"), r.URL.Query().Get("model"))
+	sess, status, err := s.acquire(tenant, r.URL.Query().Get("model"))
 	if err != nil {
 		http.Error(w, err.Error(), status)
 		return
+	}
+	// Re-check ownership now that the session lock is held: the gate's
+	// answer can go stale if a rebalance ships this tenant away between
+	// gate and acquire, and ticking a shipped (or freshly re-created)
+	// stream here would fork it from the authoritative copy.
+	if cn := s.cluster; cn != nil {
+		if owner := cn.owner(tenant); owner != cn.self {
+			s.release(sess)
+			s.clusterMisroute(w, r, tenant, owner)
+			return
+		}
 	}
 	defer s.release(sess)
 
@@ -406,6 +467,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 				s.met.ticksIngested.Add(1)
 				s.met.degradedTicks.Add(1)
 				sess.dirty = true
+				sess.degraded = true
 				wp := WirePoint{T: sess.stream.SkipEmit(), Score: sess.lastScore, Degraded: true}
 				if err := enc.Encode(wp); err != nil {
 					return // client went away
@@ -424,6 +486,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		sess.dirty = true
 		if p != nil {
 			sess.lastScore = p.Score
+			sess.degraded = false
 			if err := enc.Encode(PointWire(*p)); err != nil {
 				return // client went away
 			}
@@ -457,6 +520,9 @@ func (s *Server) classifyDegraded(err error) bool {
 // the snapshotted ones for a tenant currently evicted to disk.
 func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	tenant := r.PathValue("tenant")
+	if !s.clusterGate(w, r, tenant, false) {
+		return
+	}
 	if sess := s.reg.get(tenant); sess != nil {
 		sess.mu.Lock()
 		info := sess.infoLocked()
@@ -473,10 +539,11 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		}
 		if ok {
 			info := SessionInfo{
-				Tenant:  tenant,
-				Model:   snap.Model,
-				Ticks:   snap.Stream.Ticks,
-				Emitted: snap.Stream.Emitted,
+				Tenant:   tenant,
+				Model:    snap.Model,
+				Ticks:    snap.Stream.Ticks,
+				Emitted:  snap.Stream.Emitted,
+				Degraded: snap.Degraded,
 			}
 			if model, found := s.opts.Models[snap.Model]; found {
 				lc := model.Config().Language
@@ -493,6 +560,9 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 // its snapshot — the tenant's next tick starts a fresh window.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	tenant := r.PathValue("tenant")
+	if !s.clusterGate(w, r, tenant, true) {
+		return
+	}
 	if sess := s.reg.get(tenant); sess != nil {
 		sess.mu.Lock()
 		sess.gone = true
@@ -525,6 +595,15 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.write(w, s.reg.len(), len(s.slots), s.pool.depth())
+	if cn := s.cluster; cn != nil {
+		owned := 0
+		for _, sess := range s.reg.all() {
+			if cn.owner(sess.tenant) == cn.self {
+				owned++
+			}
+		}
+		s.met.writeCluster(w, cn.mem.AliveCount(), cn.pendingCount(), owned)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -537,8 +616,24 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	if cn := s.cluster; cn != nil && !cn.joined.Load() {
+		http.Error(w, "cluster join in progress", http.StatusServiceUnavailable)
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ready")
+}
+
+// retryAfterHeader sets the Retry-After hint from Options.RetryAfter. A
+// sub-second configuration renders as "0": retry immediately at the
+// client's own backoff pace (test and soak configurations want this; the
+// production default stays 1).
+func (s *Server) retryAfterHeader(w http.ResponseWriter) {
+	secs := int(s.opts.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 0 {
+		secs = 0
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -563,6 +658,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.stopped.CompareAndSwap(false, true) {
 		return nil
 	}
+	s.stopCluster()
 	close(s.janitorStop)
 	<-s.janitorDone
 
@@ -576,7 +672,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		sess.mu.Lock()
 		if s.opts.SnapshotDir != "" && sess.dirty {
-			snap := sessionSnapshot{Tenant: sess.tenant, Model: sess.model, Stream: sess.stream.Snapshot()}
+			snap := snapshotOfLocked(sess)
 			//mdes:allow(lockcall) drain-time only: the server has stopped accepting ticks, and the session lock guarantees the snapshot is the final state
 			if err := saveSnapshot(s.fs, s.opts.SnapshotDir, sess.tenant, snap); err != nil {
 				s.met.snapshotErrors.Add(1)

@@ -22,6 +22,10 @@ type session struct {
 	// lastScore is the most recent successfully scored point, repeated as
 	// the answer for degraded ticks (under mu).
 	lastScore float64
+	// degraded records whether the most recent emitted point was degraded
+	// (under mu). It travels with snapshots and handoffs so a restored
+	// session resumes degraded-mode accounting exactly where it left off.
+	degraded bool
 
 	lastUsed time.Time // guarded by registry.mu (LRU/TTL bookkeeping)
 }
@@ -34,6 +38,7 @@ func (s *session) infoLocked() SessionInfo {
 		Ticks:        s.stream.Ticks(),
 		Emitted:      s.stream.Emitted(),
 		SentenceSpan: s.stream.SentenceSpan(),
+		Degraded:     s.degraded,
 	}
 }
 

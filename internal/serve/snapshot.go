@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io/fs"
 	"path/filepath"
+	"strings"
 
 	"mdes"
 	"mdes/internal/checkpoint"
@@ -22,6 +23,25 @@ type sessionSnapshot struct {
 	Tenant string              `json:"tenant"`
 	Model  string              `json:"model"`
 	Stream mdes.StreamSnapshot `json:"stream"`
+	// LastScore and Degraded carry the degraded-mode serving state: a
+	// session restored (or handed to another replica) while a scoring
+	// fault is in effect must keep answering with the same last valid
+	// score, or a migrated stream's output would diverge from an
+	// unmigrated one.
+	LastScore float64 `json:"last_score,omitempty"`
+	Degraded  bool    `json:"degraded,omitempty"`
+}
+
+// snapshotOfLocked builds the durable form of a session. Caller holds the
+// session's mutex.
+func snapshotOfLocked(v *session) sessionSnapshot {
+	return sessionSnapshot{
+		Tenant:    v.tenant,
+		Model:     v.model,
+		Stream:    v.stream.Snapshot(),
+		LastScore: v.lastScore,
+		Degraded:  v.degraded,
+	}
 }
 
 // snapshotPath returns the snapshot file for a tenant. Tenant names are
@@ -91,6 +111,32 @@ func loadSnapshot(fsys faultfs.FS, dir, tenant string) (sessionSnapshot, bool, e
 		return sessionSnapshot{}, false, fmt.Errorf("serve: decode snapshot for %q: %w", tenant, err)
 	}
 	return snap, true, nil
+}
+
+// listSnapshots returns the tenants that have a snapshot file in dir,
+// decoding the hex file names back to tenant names. A missing directory is
+// an empty list; temp files and foreign names are skipped.
+func listSnapshots(fsys faultfs.FS, dir string) ([]string, error) {
+	names, err := fsys.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: list snapshots: %w", err)
+	}
+	var tenants []string
+	for _, name := range names {
+		hexName, ok := strings.CutSuffix(name, ".snap")
+		if !ok || hexName == "" {
+			continue
+		}
+		raw, err := hex.DecodeString(hexName)
+		if err != nil {
+			continue
+		}
+		tenants = append(tenants, string(raw))
+	}
+	return tenants, nil
 }
 
 // deleteSnapshot removes a tenant's snapshot and makes the removal durable;

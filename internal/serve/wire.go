@@ -93,4 +93,7 @@ type SessionInfo struct {
 	Ticks        int    `json:"ticks"`
 	Emitted      int    `json:"emitted"`
 	SentenceSpan int    `json:"sentence_span"`
+	// Degraded reports whether the session's most recent point was served
+	// degraded (see WirePoint.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 }
