@@ -1,6 +1,6 @@
 // Mdes-vet runs the repo's custom static analyzers: noalloc, ctxloop,
-// detrand, lockcall, and frameerr (see internal/analysis and its
-// subpackages).
+// detrand, lockcall, frameerr, lockorder, goloop, and snapsym (see
+// internal/analysis and its subpackages).
 //
 // It speaks the cmd/go vettool protocol, so it can run either standalone —
 //
@@ -10,7 +10,15 @@
 //
 //	go vet -vettool=$(pwd)/mdes-vet ./...
 //
-// Suppress an individual finding with //mdes:allow(<analyzer>) <reason>.
+// Standalone mode also accepts -json <file>, which additionally writes each
+// diagnostic as one JSON object per line (package, file, line, col, analyzer,
+// message) for CI artifacts.
+//
+// Suppress an individual finding with //mdes:allow(<analyzer>) <reason>. The
+// tree's waiver population is budgeted: `mdes-vet -waivers WAIVERS` fails if
+// the set of //mdes:allow directives drifts from the checked-in WAIVERS file;
+// regenerate it with `mdes-vet -waivers WAIVERS -update-waivers` and have the
+// diff reviewed. A waiver naming an unknown analyzer is itself a diagnostic.
 package main
 
 import (

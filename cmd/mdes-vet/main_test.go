@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -98,6 +99,214 @@ func Persist(path string, data []byte) error {
 		if !strings.Contains(out, want) {
 			t.Errorf("vet output missing %q; got:\n%s", want, out)
 		}
+	}
+}
+
+// TestVetFailsOnConcurrencyViolations covers the cluster-era analyzers:
+// lock-order cycles (in a package matching lockorder's scope), unbounded
+// goroutines, leaked tickers, and snapshot asymmetry.
+func TestVetFailsOnConcurrencyViolations(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"internal/serve/locks.go": `package serve
+
+import "sync"
+
+type ring struct{ mu sync.Mutex }
+type member struct{ mu sync.Mutex }
+
+func one(x *ring, y *member) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+func two(x *ring, y *member) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+}
+`,
+		"bad.go": `package sandbox
+
+import "time"
+
+func spin() {
+	for {
+	}
+}
+
+func Start() {
+	go spin()
+}
+
+func tickLoop(d time.Duration) {
+	t := time.NewTicker(d)
+	for range t.C {
+	}
+}
+
+type snap struct {
+	Ticks int ` + "`json:\"ticks\"`" + `
+	cur   int
+}
+
+type counter struct{ n int }
+
+func (c *counter) Snapshot() snap { return snap{Ticks: c.n} }
+`,
+	})
+
+	out, err := runVet(t, bin, dir)
+	if err == nil {
+		t.Fatalf("go vet succeeded on a module with concurrency violations; output:\n%s", out)
+	}
+	for _, want := range []string{
+		"forms a lock-order cycle",
+		"goroutine has no visible bounded lifecycle",
+		"time.NewTicker is not stopped on every exit path",
+		"unexported field snap.cur in snapshot type snap",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vet output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestVetJSONDiagnostics checks the -json artifact mode: standalone mdes-vet
+// must still fail the run and additionally write one JSON object per finding.
+func TestVetJSONDiagnostics(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"bad.go": `package sandbox
+
+//mdes:noalloc
+func Hot() map[string]int {
+	return map[string]int{}
+}
+`,
+	})
+	jsonPath := filepath.Join(dir, "diags.json")
+	cmd := exec.Command(bin, "-json", jsonPath, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("mdes-vet -json succeeded on a violating module:\n%s", out)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("reading -json output: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatalf("-json output is empty; stderr:\n%s", out)
+	}
+	var d struct {
+		Package  string `json:"package"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+		t.Fatalf("-json line is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if d.Analyzer != "noalloc" || d.Line == 0 || !strings.Contains(d.Message, "map literal allocates") {
+		t.Errorf("unexpected JSON diagnostic: %+v", d)
+	}
+}
+
+// TestWaiverBudget exercises the -waivers subcommand: a matching budget
+// passes, drift fails with a diff, and -update-waivers regenerates the file.
+func TestWaiverBudget(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"good.go": `package sandbox
+
+//mdes:noalloc
+func Waived() *int {
+	//mdes:allow(noalloc) budget fixture
+	return new(int)
+}
+`,
+	})
+	run := func(args ...string) (string, error) {
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	// No budget file yet: the check must fail, not silently pass.
+	if out, err := run("-waivers", "WAIVERS"); err == nil {
+		t.Fatalf("-waivers succeeded without a budget file:\n%s", out)
+	}
+	if out, err := run("-waivers", "WAIVERS", "-update-waivers"); err != nil {
+		t.Fatalf("-update-waivers failed: %v\n%s", err, out)
+	}
+	budget, err := os.ReadFile(filepath.Join(dir, "WAIVERS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(budget), "good.go:noalloc") {
+		t.Fatalf("regenerated budget missing the waiver:\n%s", budget)
+	}
+	if out, err := run("-waivers", "WAIVERS"); err != nil {
+		t.Fatalf("-waivers failed against a fresh budget: %v\n%s", err, out)
+	}
+
+	// Growing the waiver population without touching the budget is drift.
+	more := `package sandbox
+
+//mdes:noalloc
+func WaivedToo() *int {
+	//mdes:allow(noalloc) a second, unbudgeted waiver
+	return new(int)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "more.go"), []byte(more), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run("-waivers", "WAIVERS")
+	if err == nil {
+		t.Fatalf("-waivers passed despite an unbudgeted waiver:\n%s", out)
+	}
+	if !strings.Contains(out, "more.go:noalloc") || !strings.Contains(out, "drift") {
+		t.Errorf("drift output should name the new waiver; got:\n%s", out)
+	}
+}
+
+// TestUnknownAnalyzerWaiver: a waiver naming a nonexistent analyzer is a
+// diagnostic (vet) and an error (budget scan) — a typo must not silently
+// disable a suppression.
+func TestUnknownAnalyzerWaiver(t *testing.T) {
+	bin := buildVet(t)
+	dir := writeModule(t, map[string]string{
+		"typo.go": `package sandbox
+
+func Fine() int {
+	//mdes:allow(noallocc) typo'd analyzer name
+	return 0
+}
+`,
+	})
+	out, err := runVet(t, bin, dir)
+	if err == nil {
+		t.Fatalf("go vet passed a waiver naming an unknown analyzer:\n%s", out)
+	}
+	if !strings.Contains(out, `unknown analyzer "noallocc"`) {
+		t.Errorf("vet output missing the unknown-analyzer diagnostic; got:\n%s", out)
+	}
+	cmd := exec.Command(bin, "-waivers", "WAIVERS", "-update-waivers")
+	cmd.Dir = dir
+	out2, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-update-waivers accepted an unknown analyzer:\n%s", out2)
+	}
+	if !strings.Contains(string(out2), `unknown analyzer "noallocc"`) {
+		t.Errorf("budget scan missing the unknown-analyzer error; got:\n%s", out2)
 	}
 }
 

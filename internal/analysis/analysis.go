@@ -94,6 +94,50 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
 // allowPrefix introduces a suppression comment.
 const allowPrefix = "//mdes:allow("
 
+// An AllowDirective is one parsed //mdes:allow(<analyzer>) <reason> waiver.
+type AllowDirective struct {
+	Analyzer string
+	Reason   string
+}
+
+// ParseAllows extracts the waiver directives from one comment's raw text. A
+// directive is only recognised when the comment itself begins with
+// "//mdes:allow(" — prose that merely mentions the marker (doc comments,
+// usage strings) is not a waiver. Several directives may share one comment:
+// each claims the text up to the next "//mdes:allow(" as its reason.
+//
+//	//mdes:allow(noalloc) heap fallback //mdes:allow(detrand) seeded locally
+//
+// yields two directives. A malformed head (no closing parenthesis, empty
+// analyzer name) yields nil.
+func ParseAllows(text string) []AllowDirective {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil
+	}
+	var out []AllowDirective
+	rest := text
+	for strings.HasPrefix(rest, allowPrefix) {
+		body := rest[len(allowPrefix):]
+		close := strings.IndexByte(body, ')')
+		if close < 0 {
+			return nil
+		}
+		name := strings.TrimSpace(body[:close])
+		if name == "" || strings.ContainsAny(name, "( \t") {
+			return nil
+		}
+		tail := body[close+1:]
+		reason := tail
+		if next := strings.Index(tail, allowPrefix); next >= 0 {
+			reason, rest = tail[:next], tail[next:]
+		} else {
+			rest = ""
+		}
+		out = append(out, AllowDirective{Analyzer: name, Reason: strings.TrimSpace(reason)})
+	}
+	return out
+}
+
 // suppressed reports whether pos is covered by a waiver for this analyzer.
 func (p *Pass) suppressed(pos token.Pos) bool {
 	if !p.built {
@@ -121,12 +165,14 @@ func (p *Pass) buildAllowed() {
 		var lines []int // candidate attachment lines
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				name, ok := parseAllow(c.Text)
-				if !ok || name != want {
-					continue
+				for _, d := range ParseAllows(c.Text) {
+					if d.Analyzer != want {
+						continue
+					}
+					l := p.Fset.Position(c.Pos()).Line
+					lines = append(lines, l, l+1)
+					break
 				}
-				l := p.Fset.Position(c.Pos()).Line
-				lines = append(lines, l, l+1)
 			}
 		}
 		if len(lines) == 0 {
@@ -169,20 +215,6 @@ func (p *Pass) buildAllowed() {
 			}
 		}
 	}
-}
-
-// parseAllow extracts the analyzer name from an //mdes:allow(<name>) comment.
-func parseAllow(text string) (string, bool) {
-	i := strings.Index(text, allowPrefix)
-	if i < 0 {
-		return "", false
-	}
-	rest := text[i+len(allowPrefix):]
-	j := strings.IndexByte(rest, ')')
-	if j < 0 {
-		return "", false
-	}
-	return strings.TrimSpace(rest[:j]), true
 }
 
 // --- shared typed-AST helpers used by several analyzers ---

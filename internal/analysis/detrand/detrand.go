@@ -42,6 +42,7 @@ var Packages = []string{
 	"internal/bleu",
 	"internal/anomaly",
 	"internal/pairmine",
+	"internal/cluster",
 	"internal/graph",
 	"internal/community",
 	"internal/stats",

@@ -8,8 +8,8 @@ import (
 
 func TestDetrand(t *testing.T) {
 	saved := Packages
-	Packages = append(append([]string{}, Packages...), "scoring")
+	Packages = append(append([]string{}, Packages...), "scoring", "cluster", "infer")
 	defer func() { Packages = saved }()
 
-	analyzertest.Run(t, "testdata/src", Analyzer, "scoring", "other")
+	analyzertest.Run(t, "testdata/src", Analyzer, "scoring", "other", "cluster", "infer")
 }

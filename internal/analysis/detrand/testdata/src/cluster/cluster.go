@@ -1,0 +1,51 @@
+// Package cluster is a detrand fixture for the newly covered ring/membership
+// code: tenant placement must be a pure function of the ring, never of
+// wall-clock or the global rand source.
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type ring struct {
+	vnodes []uint64
+	peers  map[string]int
+}
+
+// placeJittered perturbs placement with the process-wide source: two replicas
+// computing ownership would disagree.
+func (r *ring) placeJittered(tenant string) int {
+	return rand.Intn(len(r.vnodes)) // want `global rand.Intn draws from the process-wide source`
+}
+
+// probeStamp leaks wall-clock into state that feeds placement decisions.
+func probeStamp() time.Time {
+	return time.Now() // want `time.Now in scoring/training code`
+}
+
+// weightSum accumulates floats in map order: replicas would compute different
+// totals for the same ring.
+func (r *ring) weightSum() float64 {
+	total := 0.0
+	for _, w := range r.peers {
+		total += float64(w) // want `map iteration accumulates into float`
+	}
+	return total
+}
+
+// Owners is the clean path: deterministic iteration via a sorted snapshot and
+// a locally seeded source.
+func (r *ring) Owners(seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, 0, len(r.peers))
+	for p := range r.peers {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	if len(names) > 1 {
+		rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+	}
+	return names
+}

@@ -1,0 +1,36 @@
+// Package infer is a detrand fixture for the quantized inference engine:
+// scores published to tenants must be bit-identical run to run.
+package infer
+
+import "time"
+
+type model struct {
+	weights map[string][]float64
+}
+
+// scoreAll folds per-pair scores in map order: the float sum depends on
+// iteration order, so the same model scores differently per process.
+func (m *model) scoreAll() float64 {
+	score := 0.0
+	for _, w := range m.weights {
+		for _, v := range w {
+			score += v // want `map iteration accumulates into float`
+		}
+	}
+	return score
+}
+
+// latency times the hot path with wall-clock inside the scoring package.
+func latency(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in scoring/training code`
+}
+
+// dot is the clean path: slice iteration is ordered, accumulation is
+// deterministic.
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

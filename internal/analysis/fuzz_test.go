@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzWaiverDirective round-trips the //mdes:allow parser: any directive the
+// parser accepts must re-render to text that parses back to the identical
+// directive list. This pins the parser against crafted comments — reasons
+// containing parentheses, directives jammed together, near-miss prefixes —
+// without enumerating them by hand.
+func FuzzWaiverDirective(f *testing.F) {
+	f.Add("//mdes:allow(noalloc) heap fallback")
+	f.Add("//mdes:allow(noalloc) a //mdes:allow(detrand) b")
+	f.Add("//mdes:allow(lockcall)")
+	f.Add("//mdes:allow(x) reason with (parens) and //mdes:allow-ish text")
+	f.Add("// prose mentioning //mdes:allow(noalloc) is not a waiver")
+	f.Add("//mdes:allow()")
+	f.Add("//mdes:allow(unclosed")
+	f.Add("//mdes:allow(a)//mdes:allow(b)")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		ds := ParseAllows(text)
+		for _, d := range ds {
+			// Invariants of any accepted directive.
+			if d.Analyzer == "" {
+				t.Fatalf("ParseAllows(%q) produced an empty analyzer name", text)
+			}
+			if strings.ContainsAny(d.Analyzer, "() \t") {
+				t.Fatalf("ParseAllows(%q) produced malformed analyzer %q", text, d.Analyzer)
+			}
+			if strings.Contains(d.Reason, "//mdes:allow(") {
+				t.Fatalf("ParseAllows(%q): reason %q swallowed a following directive", text, d.Reason)
+			}
+			if d.Reason != strings.TrimSpace(d.Reason) {
+				t.Fatalf("ParseAllows(%q): reason %q is not trimmed", text, d.Reason)
+			}
+		}
+		if len(ds) == 0 {
+			return
+		}
+		// Re-render and re-parse: the directive list must survive unchanged.
+		var b strings.Builder
+		for _, d := range ds {
+			if b.Len() == 0 {
+				b.WriteString("//mdes:allow(")
+			} else {
+				b.WriteString(" //mdes:allow(")
+			}
+			fmt.Fprintf(&b, "%s) %s", d.Analyzer, d.Reason)
+		}
+		again := ParseAllows(strings.TrimRight(b.String(), " "))
+		if len(again) != len(ds) {
+			t.Fatalf("round trip of %q changed directive count: %v -> %v", text, ds, again)
+		}
+		for i := range ds {
+			if again[i] != ds[i] {
+				t.Fatalf("round trip of %q changed directive %d: %+v -> %+v", text, i, ds[i], again[i])
+			}
+		}
+	})
+}

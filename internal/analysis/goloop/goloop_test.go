@@ -1,0 +1,11 @@
+package goloop
+
+import (
+	"testing"
+
+	"mdes/internal/analysis/analyzertest"
+)
+
+func TestGoloop(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", Analyzer, "a")
+}

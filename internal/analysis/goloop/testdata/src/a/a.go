@@ -1,0 +1,115 @@
+// Package a is the goloop fixture: goroutines with and without visible
+// lifecycle evidence, and timers with and without a deferred Stop.
+package a
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type server struct {
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// spin loops forever with no way to stop it.
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+func (s *server) start(ctx context.Context) {
+	go spin() // want `goroutine has no visible bounded lifecycle`
+
+	go func() { // want `goroutine has no visible bounded lifecycle`
+		for {
+		}
+	}()
+
+	// Context argument: bounded.
+	go s.pump(ctx)
+
+	// Context captured and checked in the body: bounded.
+	go func() {
+		for ctx.Err() == nil {
+		}
+	}()
+
+	// WaitGroup: bounded.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+		}
+	}()
+
+	// Channel the spawner controls: bounded.
+	go func() {
+		for {
+			select {
+			case <-s.quit:
+				return
+			default:
+			}
+		}
+	}()
+
+	// Evidence through a same-package callee: bounded.
+	go s.drain()
+
+	// Declared helper with no evidence anywhere: flagged.
+	go spinToo() // want `goroutine has no visible bounded lifecycle`
+}
+
+func (s *server) pump(ctx context.Context) {
+	for ctx.Err() == nil {
+	}
+}
+
+func (s *server) drain() {
+	<-s.quit
+}
+
+func spinToo() {
+	for {
+	}
+}
+
+// tick leaves its ticker running on the early-return path.
+func (s *server) tick(d time.Duration) {
+	t := time.NewTicker(d) // want `time.NewTicker is not stopped on every exit path`
+	for {
+		select {
+		case <-t.C:
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// tickStopped defers the Stop: clean.
+func (s *server) tickStopped(d time.Duration) {
+	t := time.NewTicker(d)
+	defer t.Stop()
+	for range t.C {
+		return
+	}
+}
+
+// timerHandedOff escapes to another owner: clean here.
+func timerHandedOff(d time.Duration) *time.Timer {
+	t := time.NewTimer(d)
+	return t
+}
+
+// timerDeferredCleanup stops through a deferred closure: clean.
+func timerDeferredCleanup(d time.Duration) {
+	t := time.NewTimer(d)
+	defer func() {
+		t.Stop()
+	}()
+	<-t.C
+}

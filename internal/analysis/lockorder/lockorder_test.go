@@ -1,0 +1,15 @@
+package lockorder
+
+import (
+	"testing"
+
+	"mdes/internal/analysis/analyzertest"
+)
+
+func TestLockorder(t *testing.T) {
+	saved := Packages
+	Packages = append(append([]string{}, Packages...), "serve", "clean")
+	defer func() { Packages = saved }()
+
+	analyzertest.Run(t, "testdata/src", Analyzer, "serve", "clean")
+}

@@ -1,0 +1,64 @@
+// Package clean is the non-flagging lockorder fixture: a consistent global
+// order, a TryLock in the reverse direction (the repo's registry/session
+// discipline), and release-before-acquire sequencing.
+package clean
+
+import "sync"
+
+type registry struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+}
+
+type session struct {
+	mu    sync.Mutex
+	ticks int
+}
+
+// touch follows the global order: session.mu -> registry.mu, everywhere.
+func (s *session) touch(r *registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.ticks++
+}
+
+// sweep takes the reverse direction with TryLock only: it cannot block, so it
+// neither joins the hold set nor records an edge.
+func (r *registry) sweep() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.sessions {
+		if !s.mu.TryLock() {
+			continue
+		}
+		s.ticks++
+		s.mu.Unlock()
+	}
+}
+
+// handover releases before re-acquiring: no overlap, no edge, no
+// re-acquisition.
+func (s *session) handover() {
+	s.mu.Lock()
+	s.ticks++
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.ticks--
+	s.mu.Unlock()
+}
+
+// retire acquires through a helper in the same global direction as touch:
+// helper-reached edges are fine as long as they keep the order.
+func (s *session) retire(r *registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.forget("t")
+}
+
+func (r *registry) forget(tenant string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sessions, tenant)
+}

@@ -1,0 +1,11 @@
+package snapsym
+
+import (
+	"testing"
+
+	"mdes/internal/analysis/analyzertest"
+)
+
+func TestSnapsym(t *testing.T) {
+	analyzertest.Run(t, "testdata/src", Analyzer, "snap", "clean")
+}

@@ -1,0 +1,13 @@
+// Package checkpoint is a miniature stand-in for the repo's
+// internal/checkpoint so the snapshot-flow rules have a matching import path
+// suffix to bind to.
+package checkpoint
+
+func AppendFrame(dst, payload []byte) []byte {
+	dst = append(dst, byte(len(payload)))
+	return append(dst, payload...)
+}
+
+func Frames(data []byte) ([][]byte, int, error) {
+	return nil, len(data), nil
+}

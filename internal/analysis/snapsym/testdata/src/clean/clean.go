@@ -1,0 +1,69 @@
+// Package clean is the non-flagging snapsym fixture: symmetric snapshot
+// types, a Snapshot/Restore pair, a custom-codec type whose unexported
+// fields are its own business, and a struct that never reaches the
+// durability boundary at all.
+package clean
+
+import (
+	"encoding/json"
+	"time"
+
+	"checkpoint"
+)
+
+// Snap flows through Snapshot/Restore: exported root, tagged symmetric
+// fields, a nested struct with a custom codec.
+type Snap struct {
+	Ticks int       `json:"ticks"`
+	Seen  time.Time `json:"seen"` // time.Time marshals itself; its unexported fields are fine
+	Meta  sealed    `json:"meta"`
+}
+
+// sealed owns its own wire format.
+type sealed struct {
+	hidden int
+}
+
+func (s sealed) MarshalJSON() ([]byte, error)  { return json.Marshal(s.hidden) }
+func (s *sealed) UnmarshalJSON(b []byte) error { return json.Unmarshal(b, &s.hidden) }
+
+type stream struct{ ticks int }
+
+func (s *stream) Snapshot() Snap { return Snap{Ticks: s.ticks} }
+
+func RestoreStream(sn Snap) *stream { return &stream{ticks: sn.Ticks} }
+
+// frame is unexported with both flows visible, and every field is consumed
+// on restore: symmetric.
+type frame struct {
+	Tenant string `json:"tenant"`
+	Ticks  int    `json:"ticks"`
+}
+
+func saveFrame(dst []byte, f frame) []byte {
+	payload, _ := json.Marshal(f)
+	return checkpoint.AppendFrame(dst, payload)
+}
+
+func loadFrame(data []byte) (frame, error) {
+	payloads, _, err := checkpoint.Frames(data)
+	var f frame
+	if err == nil && len(payloads) > 0 {
+		err = json.Unmarshal(payloads[0], &f)
+	}
+	return f, err
+}
+
+func restoreFrame(f frame) *stream {
+	_ = f.Tenant
+	return &stream{ticks: f.Ticks}
+}
+
+// scratch has unexported fields but never touches the durability boundary,
+// so snapsym has nothing to say about it.
+type scratch struct {
+	buf []byte
+	n   int
+}
+
+func (s *scratch) grow() { s.n += len(s.buf) }

@@ -6,8 +6,11 @@ import (
 	"mdes/internal/analysis/ctxloop"
 	"mdes/internal/analysis/detrand"
 	"mdes/internal/analysis/frameerr"
+	"mdes/internal/analysis/goloop"
 	"mdes/internal/analysis/lockcall"
+	"mdes/internal/analysis/lockorder"
 	"mdes/internal/analysis/noalloc"
+	"mdes/internal/analysis/snapsym"
 )
 
 // Analyzers is the full mdes-vet suite, in reporting order.
@@ -17,4 +20,7 @@ var Analyzers = []*analysis.Analyzer{
 	detrand.Analyzer,
 	lockcall.Analyzer,
 	frameerr.Analyzer,
+	lockorder.Analyzer,
+	goloop.Analyzer,
+	snapsym.Analyzer,
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -12,8 +13,24 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 )
+
+// jsonEnv carries the -json output path from the standalone front-end into
+// the per-package vettool invocations cmd/go spawns.
+const jsonEnv = "MDES_VET_JSON"
+
+// JSONDiagnostic is one finding in the machine-readable -json output: one
+// JSON object per line, appended per analyzed package.
+type JSONDiagnostic struct {
+	Package  string `json:"package"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 // vetConfig mirrors the JSON configuration cmd/go writes for each package
 // when driving a -vettool (see cmd/go/internal/work's vetConfig). Only the
@@ -75,16 +92,49 @@ func Main(name string, analyzers ...*Analyzer) {
 		}
 		return
 	}
-	// Standalone mode: let `go vet` load the packages and call us back.
+	// Standalone mode: parse front-end flags, then let `go vet` load the
+	// packages and call us back per package.
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	fs.Usage = func() { usage(name, analyzers) }
+	jsonOut := fs.String("json", "", "also write diagnostics as JSON lines to this `file`")
+	budget := fs.String("waivers", "", "check //mdes:allow waivers against this budget `file` and exit")
+	update := fs.Bool("update-waivers", false, "with -waivers: rewrite the budget file from the tree instead of checking")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	if *budget != "" {
+		if err := waiverBudget(".", *budget, *update, known); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(2)
+		}
+		return
+	}
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: cannot locate own executable: %v\n", name, err)
 		os.Exit(1)
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, fs.Args()...)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin
+	if *jsonOut != "" {
+		abs, err := filepath.Abs(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		// Start fresh; the per-package invocations append.
+		if err := os.WriteFile(abs, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		cmd.Env = append(os.Environ(), jsonEnv+"="+abs)
+	}
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
 			os.Exit(ee.ExitCode())
@@ -92,6 +142,19 @@ func Main(name string, analyzers ...*Analyzer) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 		os.Exit(1)
 	}
+}
+
+// waiverBudget implements the -waivers subcommand: scan the module rooted at
+// root and either check against or regenerate the budget file.
+func waiverBudget(root, budgetFile string, update bool, known map[string]bool) error {
+	if update {
+		ws, err := ScanWaivers(root, known)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(budgetFile, FormatWaivers(ws), 0o666)
+	}
+	return CheckWaivers(root, budgetFile, known)
 }
 
 func usage(name string, analyzers []*Analyzer) {
@@ -166,17 +229,76 @@ func runConfig(cfgFile string, analyzers []*Analyzer) (int, error) {
 
 	loaded := &Package{Fset: fset, Files: parsed, Pkg: pkg, Info: info}
 	total := 0
+	var jsonDiags []JSONDiagnostic
+	emit := func(analyzer string, pos token.Pos, msg string) {
+		p := fset.Position(pos)
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", p, msg, analyzer)
+		jsonDiags = append(jsonDiags, JSONDiagnostic{
+			Package: cfg.ImportPath, File: p.Filename, Line: p.Line, Col: p.Column,
+			Analyzer: analyzer, Message: msg,
+		})
+		total++
+	}
+	known := map[string]bool{}
 	for _, a := range analyzers {
+		known[a.Name] = true
 		pass := loaded.NewPass(a)
 		if err := a.Run(pass); err != nil {
 			return total, fmt.Errorf("analyzer %s on %s: %w", a.Name, cfg.ImportPath, err)
 		}
 		for _, d := range pass.Diagnostics() {
-			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, a.Name)
-			total++
+			emit(a.Name, d.Pos, d.Message)
+		}
+	}
+	// A waiver naming an analyzer that does not exist suppresses nothing and
+	// usually means a typo silently disabled a real waiver — that is itself a
+	// finding, not a no-op.
+	for _, f := range parsed {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, d := range ParseAllows(c.Text) {
+					if !known[d.Analyzer] {
+						emit("mdes-vet", c.Pos(), fmt.Sprintf("//mdes:allow names unknown analyzer %q", d.Analyzer))
+					}
+				}
+			}
+		}
+	}
+	if total > 0 {
+		if err := appendJSON(jsonDiags); err != nil {
+			return total, err
 		}
 	}
 	return total, nil
+}
+
+// appendJSON appends diagnostics to the file named by MDES_VET_JSON, one JSON
+// object per line. The per-package vettool processes cmd/go spawns may run
+// concurrently, so each package's lines are written with a single O_APPEND
+// write.
+func appendJSON(diags []JSONDiagnostic) error {
+	path := os.Getenv(jsonEnv)
+	if path == "" || len(diags) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, d := range diags {
+		line, err := json.Marshal(d)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }
 
 func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {

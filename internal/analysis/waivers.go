@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Waiver is one //mdes:allow directive found in the source tree.
+type Waiver struct {
+	File     string // slash-separated path relative to the scan root
+	Analyzer string
+	Reason   string
+	Line     int
+}
+
+// ScanWaivers walks root for production .go files (skipping _test.go files,
+// testdata trees, and hidden directories) and returns every //mdes:allow
+// directive, sorted by file, then analyzer, then line. Comments are read via
+// go/parser, so directives inside string literals do not count.
+//
+// A directive naming an analyzer outside known, or carrying an empty reason,
+// is an error: the budget exists to keep waivers auditable, and an
+// unauditable waiver must not enter it silently.
+func ScanWaivers(root string, known map[string]bool) ([]Waiver, error) {
+	var out []Waiver
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("%s: %w", rel, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, dir := range ParseAllows(c.Text) {
+					line := fset.Position(c.Pos()).Line
+					if !known[dir.Analyzer] {
+						return fmt.Errorf("%s:%d: //mdes:allow names unknown analyzer %q", rel, line, dir.Analyzer)
+					}
+					if dir.Reason == "" {
+						return fmt.Errorf("%s:%d: //mdes:allow(%s) has no reason; waivers must explain themselves", rel, line, dir.Analyzer)
+					}
+					out = append(out, Waiver{File: rel, Analyzer: dir.Analyzer, Reason: dir.Reason, Line: line})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+// FormatWaivers renders the checked-in budget form: one "file:analyzer" line
+// per waiver (duplicates repeated, so the count per site is part of the
+// budget). Line numbers are deliberately omitted — moving code must not churn
+// the file.
+func FormatWaivers(ws []Waiver) []byte {
+	var b bytes.Buffer
+	b.WriteString("# mdes-vet waiver budget. One `file:analyzer` line per //mdes:allow\n")
+	b.WriteString("# directive in production code. Regenerate with:\n")
+	b.WriteString("#\n")
+	b.WriteString("#   mdes-vet -waivers WAIVERS -update-waivers\n")
+	b.WriteString("#\n")
+	b.WriteString("# CI fails when the tree's waiver set drifts from this file, so every\n")
+	b.WriteString("# new waiver is a reviewed diff here, not a silent suppression.\n")
+	for _, w := range ws {
+		fmt.Fprintf(&b, "%s:%s\n", w.File, w.Analyzer)
+	}
+	return b.Bytes()
+}
+
+// parseBudget reads the budget file into "file:analyzer" → count.
+func parseBudget(data []byte) (map[string]int, error) {
+	counts := map[string]int{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, ":") == 0 {
+			return nil, fmt.Errorf("budget line %d: want file:analyzer, got %q", i+1, line)
+		}
+		counts[line]++
+	}
+	return counts, nil
+}
+
+// CheckWaivers compares the tree's //mdes:allow directives under root against
+// the checked-in budget file and returns an error describing the drift, if
+// any. An unreadable budget file is drift too: the budget must exist once the
+// tree carries waivers.
+func CheckWaivers(root, budgetFile string, known map[string]bool) error {
+	ws, err := ScanWaivers(root, known)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(budgetFile)
+	if err != nil {
+		return fmt.Errorf("reading waiver budget: %w", err)
+	}
+	want, err := parseBudget(data)
+	if err != nil {
+		return err
+	}
+	got := map[string]int{}
+	for _, w := range ws {
+		got[fmt.Sprintf("%s:%s", w.File, w.Analyzer)]++
+	}
+	var drift []string
+	for k, n := range got {
+		if n > want[k] {
+			drift = append(drift, fmt.Sprintf("  +%d %s (tree has %d, budget has %d)", n-want[k], k, n, want[k]))
+		}
+	}
+	for k, n := range want {
+		if got[k] < n {
+			drift = append(drift, fmt.Sprintf("  -%d %s (tree has %d, budget has %d)", n-got[k], k, got[k], n))
+		}
+	}
+	if len(drift) == 0 {
+		return nil
+	}
+	sort.Strings(drift)
+	return fmt.Errorf("waiver budget drift (%d entries):\n%s\nupdate %s via `mdes-vet -waivers %s -update-waivers` and have the diff reviewed",
+		len(drift), strings.Join(drift, "\n"), budgetFile, budgetFile)
+}

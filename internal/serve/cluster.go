@@ -446,6 +446,16 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "handoff tenant mismatch", http.StatusBadRequest)
 		return
 	}
+	// The envelope's Ticks/Model duplicate the payload so the idempotency
+	// decision can be made without trusting the (CRC-covered but separately
+	// encoded) snapshot. They must agree: a disagreement means the sender
+	// framed one session's metadata around another session's payload, and
+	// installing either interpretation could lose ticks silently.
+	if h.Ticks != snap.Stream.Ticks || h.Model != snap.Model {
+		s.met.clusterHandoffErrors.Add(1)
+		http.Error(w, "handoff envelope/payload mismatch", http.StatusBadRequest)
+		return
+	}
 	model, ok := s.opts.Models[snap.Model]
 	if !ok {
 		s.met.clusterHandoffErrors.Add(1)

@@ -128,6 +128,10 @@ func (p *scorePool) dispatcher() {
 	pending := make(map[*infer.Model]*[]scoreTask)
 	npending := 0
 	timer := time.NewTimer(time.Hour)
+	// The linger dance below re-arms and drains the timer inline, but the
+	// dispatcher can return with it armed (quit while a linger window is
+	// open); without this defer that exit path leaks an armed timer.
+	defer timer.Stop()
 	if !timer.Stop() {
 		<-timer.C
 	}
