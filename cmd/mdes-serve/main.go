@@ -30,6 +30,13 @@
 //
 //	mdes-serve -listen :8331 -model model.json -snapshots ./snaps \
 //	  -peers http://a:8331,http://b:8331 -advertise http://a:8331
+//
+// With -standby-dir set, every durable snapshot is also replicated to the
+// tenant's ring successor: if a replica dies — disk included — the successor
+// promotes its warm-standby copies and serves the streams through the outage,
+// shipping them home when the owner returns.
+//
+//	mdes-serve ... -snapshots ./snaps -standby-dir ./standby
 package main
 
 import (
@@ -115,6 +122,8 @@ func run(args []string, logw io.Writer) error {
 	peers := fs.String("peers", "", "cluster mode: comma-separated base URLs of every replica, this one included (e.g. http://a:8331,http://b:8331)")
 	advertise := fs.String("advertise", "", "cluster mode: this replica's own base URL as it appears in -peers")
 	probeInterval := fs.Duration("probe-interval", 0, "cluster peer health-probe interval (0 = 2s)")
+	standby := fs.String("standby-dir", "", "cluster mode: directory for warm-standby copies replicated from ring predecessors (requires -snapshots; empty = replication off)")
+	replQueue := fs.Int("repl-queue", 0, "per-peer replication queue capacity before newest-wins drops (0 = 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,6 +148,11 @@ func run(args []string, logw io.Writer) error {
 			return err
 		}
 	}
+	if *standby != "" {
+		if err := os.MkdirAll(*standby, 0o755); err != nil {
+			return err
+		}
+	}
 	srv, err := serve.New(serve.Options{
 		Models:        loaded,
 		DefaultModel:  *defaultModel,
@@ -154,6 +168,8 @@ func run(args []string, logw io.Writer) error {
 		Peers:         splitPeers(*peers),
 		Advertise:     *advertise,
 		ProbeInterval: *probeInterval,
+		StandbyDir:    *standby,
+		ReplQueueCap:  *replQueue,
 	})
 	if err != nil {
 		return err

@@ -35,8 +35,10 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// Packages are the import-path suffixes the analyzer applies to.
-var Packages = []string{"internal/serve", "internal/cluster"}
+// Packages are the import-path suffixes the analyzer applies to. faultnet's
+// fault decisions run inside every intercepted round trip, so holding its
+// mutex across I/O would serialize the very traffic it perturbs.
+var Packages = []string{"internal/serve", "internal/cluster", "internal/faultnet"}
 
 // ioPkgs are the packages whose calls count as file/network I/O.
 var ioPkgs = map[string]bool{

@@ -40,7 +40,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // Packages are the import-path suffixes the analyzer applies to.
-var Packages = []string{"internal/serve", "internal/cluster"}
+var Packages = []string{"internal/serve", "internal/cluster", "internal/faultnet"}
 
 // site is one location that blocking-acquires `to` while `from` is held,
 // with the helper call (if any) for the diagnostic.

@@ -21,6 +21,11 @@ const (
 	// UpdatePath receives peer announcements (hello on join, leave on
 	// drain) that adjust the receiver's membership view.
 	UpdatePath = "/v1/cluster/update"
+	// ReplicatePath receives one tenant's warm-standby snapshot copy. Same
+	// frame format and idempotency key as HandoffPath, but the receiver
+	// persists the record in its standby store instead of installing a live
+	// session — ownership does not move with a replica.
+	ReplicatePath = "/v1/cluster/replicate"
 )
 
 // Handoff is one tenant migration: the opaque session snapshot plus enough
@@ -158,6 +163,14 @@ func (s *Sender) backoff(attempt int, hint time.Duration) time.Duration {
 // state durable (installed or recognised as a duplicate) — only then may
 // the caller delete its local copy.
 func (s *Sender) Send(ctx context.Context, peer string, h Handoff) error {
+	return s.SendTo(ctx, peer, HandoffPath, h)
+}
+
+// SendTo ships one handoff-framed record to an explicit endpoint on peer:
+// HandoffPath moves ownership, ReplicatePath feeds the peer's warm-standby
+// store. Retry semantics are identical — both receivers are idempotent on
+// the Ticks key, so redelivery is always safe.
+func (s *Sender) SendTo(ctx context.Context, peer, path string, h Handoff) error {
 	body, err := EncodeHandoff(h)
 	if err != nil {
 		return err
@@ -170,7 +183,7 @@ func (s *Sender) Send(ctx context.Context, peer string, h Handoff) error {
 				return err
 			}
 		}
-		lastErr = s.post(ctx, peer+HandoffPath, "application/octet-stream", body, nil)
+		lastErr = s.post(ctx, peer+path, "application/octet-stream", body, nil)
 		if lastErr == nil {
 			return nil
 		}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"math/rand"
 	"sync"
 	"time"
 )
@@ -27,6 +28,13 @@ type ProbeFunc func(ctx context.Context, peer string) error
 // health checks mid-drain must not be yanked back to Alive. A failing
 // peer's probes back off exponentially so a long outage costs one cheap
 // refused dial per MaxInterval rather than a tight reconnect loop.
+//
+// Every wait is jittered ±20% by a per-peer seeded rng: N replicas probing
+// a recovering peer would otherwise converge on the same cadence and hit it
+// simultaneously every round (a probe storm at exactly the moment the peer
+// is least able to absorb one). The seed is explicit and per-peer so the
+// schedule stays deterministic under test (detrand forbids the global
+// source here for the same reason it does in scoring code).
 type Prober struct {
 	Peers    []string
 	Self     string
@@ -35,6 +43,14 @@ type Prober struct {
 	Interval time.Duration // base probe period (default 2s)
 	// MaxInterval caps the per-peer backoff (default 30s).
 	MaxInterval time.Duration
+	// ProbeTimeout bounds one probe's context independently of the (possibly
+	// backed-off) wait interval: a peer 30s into its backoff should still
+	// fail a dead dial in about a second, not keep a connection attempt
+	// pinned for the whole 30s. 0 selects min(Interval, 1s).
+	ProbeTimeout time.Duration
+	// Seed derives each peer's jitter stream (mixed with the peer's own
+	// hash, so two loops never share a schedule). Zero is a valid seed.
+	Seed int64
 	// FailThreshold is how many consecutive failures demote Alive→Gone
 	// (default 2 — one blip should not trigger a rebalance).
 	FailThreshold int
@@ -42,6 +58,10 @@ type Prober struct {
 	// locks: the serve layer hooks the rebalance sweep here (Gone→Alive
 	// means the revived peer's tenants must be shipped back to it).
 	OnChange func(peer string, from, to PeerState)
+	// Sleep replaces the inter-probe wait in tests: it receives the
+	// jittered delay and returns once the wait would have elapsed. Nil
+	// selects a real timer. Stop still interrupts the loop between waits.
+	Sleep func(d time.Duration)
 
 	stop chan struct{}
 	done sync.WaitGroup
@@ -60,6 +80,18 @@ func (p *Prober) maxInterval() time.Duration {
 		return p.MaxInterval
 	}
 	return 30 * time.Second
+}
+
+// probeTimeout returns the per-probe context budget: explicit when set,
+// otherwise the base interval capped at one second.
+func (p *Prober) probeTimeout() time.Duration {
+	if p.ProbeTimeout > 0 {
+		return p.ProbeTimeout
+	}
+	if iv := p.interval(); iv < time.Second {
+		return iv
+	}
+	return time.Second
 }
 
 func (p *Prober) failThreshold() int {
@@ -91,22 +123,46 @@ func (p *Prober) Stop() {
 	p.done.Wait()
 }
 
-// loop probes one peer forever. Healthy peers are probed every Interval;
-// each consecutive failure doubles the wait up to MaxInterval, and a
-// success resets it.
-func (p *Prober) loop(peer string) {
-	defer p.done.Done()
-	fails := 0
-	wait := p.interval()
-	timer := time.NewTimer(wait)
-	defer timer.Stop()
-	for {
+// jittered spreads a wait across ±20% of its nominal value.
+func jittered(rng *rand.Rand, d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*rng.Float64()))
+}
+
+// wait blocks for the jittered delay or until Stop; false means stop.
+func (p *Prober) wait(d time.Duration) bool {
+	if p.Sleep != nil {
+		p.Sleep(d)
 		select {
 		case <-p.stop:
-			return
-		case <-timer.C:
+			return false
+		default:
+			return true
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), p.interval())
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-p.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// loop probes one peer forever. Healthy peers are probed every ~Interval
+// (jittered); each consecutive failure doubles the wait up to MaxInterval,
+// and a success resets it. The probe context is bounded by probeTimeout, not
+// by the wait — a backed-off peer still fails fast.
+func (p *Prober) loop(peer string) {
+	defer p.done.Done()
+	rng := rand.New(rand.NewSource(p.Seed ^ int64(hashKey(peer))))
+	fails := 0
+	wait := p.interval()
+	for {
+		if !p.wait(jittered(rng, wait)) {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.probeTimeout())
 		err := p.Probe(ctx, peer)
 		cancel()
 		if err == nil {
@@ -123,7 +179,6 @@ func (p *Prober) loop(peer string) {
 				p.transition(peer, Leaving, Gone)
 			}
 		}
-		timer.Reset(wait)
 	}
 }
 

@@ -122,3 +122,25 @@ func (r *Ring) OwnerAmong(tenant string, eligible func(peer string) bool) string
 	}
 	return ""
 }
+
+// SuccessorAmong returns the tenant's standby: the first eligible peer,
+// walking clockwise from the tenant's hash, that is distinct from owner.
+// It inherits OwnerAmong's stability property — losing any peer other than
+// the owner or the standby leaves the (owner, standby) pair untouched — and,
+// like OwnerAmong, every replica and client derives the same answer from the
+// same view. Returns "" when no distinct eligible peer exists (e.g. a
+// single-replica "cluster", which has nowhere to replicate to).
+func (r *Ring) SuccessorAmong(tenant, owner string, eligible func(peer string) bool) string {
+	h := hashKey(tenant)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if p.peer == owner {
+			continue
+		}
+		if eligible == nil || eligible(p.peer) {
+			return p.peer
+		}
+	}
+	return ""
+}

@@ -1,0 +1,267 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer answers with the body it received, so tests can see exactly
+// what arrived through the faulty transport.
+func echoServer(t *testing.T, hits *atomic.Int64) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits != nil {
+			hits.Add(1)
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		_, _ = w.Write(body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postThrough(tr *Transport, url string, body []byte) (*http.Response, error) {
+	client := &http.Client{Transport: tr}
+	return client.Post(url, "application/octet-stream", bytes.NewReader(body))
+}
+
+func TestTransportPassthrough(t *testing.T) {
+	srv := echoServer(t, nil)
+	tr := New(nil, 1, Faults{})
+	resp, err := postThrough(tr, srv.URL, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	if string(got) != "hello" {
+		t.Fatalf("echo = %q", got)
+	}
+	if st := tr.Snapshot(); st.Requests != 1 || st.Drops+st.Delays+st.Duplicates+st.TruncatedReq+st.TruncatedResp != 0 {
+		t.Fatalf("stats = %+v, want 1 clean request", st)
+	}
+}
+
+// TestTransportDropIsConnError: a dropped request surfaces as a net.Error,
+// indistinguishable from a refused dial — that is what drives the serve
+// client's markDown/failover path.
+func TestTransportDropIsConnError(t *testing.T) {
+	srv := echoServer(t, nil)
+	tr := New(nil, 2, Faults{Drop: 1})
+	_, err := postThrough(tr, srv.URL, []byte("x"))
+	if err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		t.Fatalf("drop error %T %v does not unwrap to net.Error", err, err)
+	}
+	if st := tr.Snapshot(); st.Drops != 1 {
+		t.Fatalf("stats = %+v, want 1 drop", st)
+	}
+}
+
+// TestTransportPartitionOneWay: an outbound block stops this transport's
+// requests; an unrelated transport still gets through (one-way semantics),
+// and Heal restores the link.
+func TestTransportPartitionOneWay(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	host := srv.Listener.Addr().String()
+
+	blocked := New(nil, 3, Faults{})
+	open := New(nil, 4, Faults{})
+	blocked.Partition(host)
+
+	if _, err := postThrough(blocked, srv.URL, []byte("x")); err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	if hits.Load() != 0 {
+		t.Fatal("partitioned request reached the server")
+	}
+	resp, err := postThrough(open, srv.URL, []byte("x"))
+	if err != nil {
+		t.Fatalf("other direction blocked too: %v", err)
+	}
+	resp.Body.Close()
+
+	blocked.Heal(host)
+	resp, err = postThrough(blocked, srv.URL, []byte("x"))
+	if err != nil {
+		t.Fatalf("healed link still blocked: %v", err)
+	}
+	resp.Body.Close()
+	if st := blocked.Snapshot(); st.Partitioned != 1 {
+		t.Fatalf("stats = %+v, want 1 partition hit", st)
+	}
+}
+
+// TestTransportDuplicateDeliversTwice: the server processes the request
+// twice; the caller sees one (successful) response.
+func TestTransportDuplicateDeliversTwice(t *testing.T) {
+	var hits atomic.Int64
+	srv := echoServer(t, &hits)
+	tr := New(nil, 5, Faults{Duplicate: 1})
+	resp, err := postThrough(tr, srv.URL, []byte("dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got, _ := io.ReadAll(resp.Body); string(got) != "dup" {
+		t.Fatalf("echo = %q", got)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server hits = %d, want 2 (duplicate delivery)", hits.Load())
+	}
+	if st := tr.Snapshot(); st.Duplicates != 1 {
+		t.Fatalf("stats = %+v, want 1 duplicate", st)
+	}
+}
+
+// TestTransportTruncateRequest: the upload dies midway; the round trip fails
+// and the server never sees the full body as a clean request.
+func TestTransportTruncateRequest(t *testing.T) {
+	gotBody := make(chan []byte, 4)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		gotBody <- body
+	}))
+	defer srv.Close()
+
+	tr := New(nil, 6, Faults{TruncateReq: 1})
+	payload := bytes.Repeat([]byte("abcdefgh"), 64) // 512 bytes
+	_, err := postThrough(tr, srv.URL, payload)
+	if err == nil {
+		t.Fatal("truncated upload reported success")
+	}
+	if st := tr.Snapshot(); st.TruncatedReq != 1 {
+		t.Fatalf("stats = %+v, want 1 truncated request", st)
+	}
+	select {
+	case body := <-gotBody:
+		if len(body) >= len(payload) {
+			t.Fatalf("server received the full %d-byte body despite truncation", len(body))
+		}
+	case <-time.After(100 * time.Millisecond):
+		// The cut may kill the connection before the handler even runs —
+		// also a valid truncation outcome.
+	}
+}
+
+// TestTransportTruncateResponse: the download dies midway with a connection
+// error, not a clean EOF — a caller that length- or CRC-checks must notice.
+func TestTransportTruncateResponse(t *testing.T) {
+	srv := echoServer(t, nil)
+	tr := New(nil, 7, Faults{TruncateResp: 1})
+	payload := bytes.Repeat([]byte("abcdefgh"), 64)
+	resp, err := postThrough(tr, srv.URL, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, rerr := io.ReadAll(resp.Body)
+	if rerr == nil {
+		t.Fatal("truncated download ended in a clean EOF")
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("received all %d bytes despite truncation", len(got))
+	}
+	if st := tr.Snapshot(); st.TruncatedResp != 1 {
+		t.Fatalf("stats = %+v, want 1 truncated response", st)
+	}
+}
+
+// TestTransportDelayHoldsRequest: delayed requests still succeed, later.
+func TestTransportDelayHoldsRequest(t *testing.T) {
+	srv := echoServer(t, nil)
+	tr := New(nil, 8, Faults{Delay: 1, MaxDelay: 5 * time.Millisecond})
+	resp, err := postThrough(tr, srv.URL, []byte("slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st := tr.Snapshot(); st.Delays != 1 {
+		t.Fatalf("stats = %+v, want 1 delay", st)
+	}
+}
+
+// TestTransportDeterministicSchedule: same seed, same request sequence →
+// same fault schedule.
+func TestTransportDeterministicSchedule(t *testing.T) {
+	srv := echoServer(t, nil)
+	run := func(seed int64) []bool {
+		tr := New(nil, seed, Faults{Drop: 0.5})
+		outcomes := make([]bool, 20)
+		for i := range outcomes {
+			resp, err := postThrough(tr, srv.URL, []byte("x"))
+			if err == nil {
+				resp.Body.Close()
+			}
+			outcomes[i] = err == nil
+		}
+		return outcomes
+	}
+	a, b := run(99), run(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at request %d: %v vs %v", i, a, b)
+		}
+	}
+	saw := map[bool]bool{}
+	for _, ok := range a {
+		saw[ok] = true
+	}
+	if !saw[true] || !saw[false] {
+		t.Fatalf("0.5 drop rate produced a constant outcome: %v", a)
+	}
+}
+
+// TestConnByteBudget: the raw-conn wrapper cuts after its byte budget and
+// every later operation fails with a connection error.
+func TestConnByteBudget(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := &Conn{Conn: client, CutAfter: 16}
+
+	serverDone := make(chan struct{})
+	go func() {
+		defer close(serverDone)
+		buf := make([]byte, 64)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	if _, err := fc.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write within budget failed: %v", err)
+	}
+	if fc.WasCut() {
+		t.Fatal("cut before the budget was spent")
+	}
+	if _, err := fc.Write(make([]byte, 8)); err != nil && !fc.WasCut() {
+		t.Fatalf("budget-exhausting write failed without cutting: %v", err)
+	}
+	if !fc.WasCut() {
+		t.Fatal("budget exhausted but connection not cut")
+	}
+	if _, err := fc.Write([]byte("more")); err == nil {
+		t.Fatal("write succeeded after the cut")
+	}
+	if _, err := fc.Read(make([]byte, 4)); err == nil {
+		t.Fatal("read succeeded after the cut")
+	}
+	<-serverDone // the cut closed the underlying conn; the peer saw it
+}

@@ -212,8 +212,10 @@ func (c *Client) markDown(replica string) {
 	c.mu.Unlock()
 }
 
-// fallback picks any peer other than avoid that is not down-listed.
-func (c *Client) fallback(avoid string) (string, bool) {
+// fallback picks the replica to try after avoid failed: the tenant's ring
+// successor — the peer holding its warm-standby copy, which can promote and
+// serve immediately — falling back to the next not-down peer clockwise.
+func (c *Client) fallback(tenant, avoid string) (string, bool) {
 	ring, err := c.clusterRing()
 	if err != nil {
 		return "", false
@@ -221,12 +223,8 @@ func (c *Client) fallback(avoid string) (string, bool) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, p := range ring.Peers() {
-		if p != avoid && c.down[p].Before(now) {
-			return p, true
-		}
-	}
-	return "", false
+	p := ring.SuccessorAmong(tenant, avoid, func(p string) bool { return c.down[p].Before(now) })
+	return p, p != ""
 }
 
 func (c *Client) noteRedirect() {
@@ -278,11 +276,25 @@ func isRedirect(code int) bool {
 		code == http.StatusFound || code == http.StatusMovedPermanently
 }
 
-// retryHint reads a Retry-After header; missing or unparseable selects
-// fallback.
+// retryHint reads a Retry-After header in either RFC 9110 form —
+// delta-seconds ("2") or an HTTP-date ("Mon, 02 Jan 2006 15:04:05 GMT").
+// Missing, unparseable, negative, or already-past values select fallback:
+// a hint that says "retry in the past" carries no schedule worth honouring.
 func retryHint(resp *http.Response, fallback time.Duration) time.Duration {
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return fallback
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return fallback
+		}
 		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
 	}
 	return fallback
 }
@@ -326,10 +338,15 @@ func (c *Client) PushTicks(ctx context.Context, tenant string, ticks []map[strin
 		if err != nil {
 			// Connection-level failure: nothing was consumed. Route around
 			// the replica and ask another one — it serves the tenant, or
-			// redirects to whoever should.
-			if ctx.Err() == nil && len(c.Peers) > 0 && hop < c.maxRedirects() {
+			// redirects to whoever should. Failovers are not charged
+			// against the redirect budget: they are bounded by the down
+			// list instead (every failure down-lists its replica, and the
+			// fallback only returns not-down peers), so a dead owner ends
+			// the loop in a retryable RedirectError from its standby, not
+			// a raw connection error surfaced mid-outage.
+			if ctx.Err() == nil && len(c.Peers) > 0 {
 				c.markDown(base)
-				if alt, ok := c.fallback(base); ok {
+				if alt, ok := c.fallback(tenant, base); ok {
 					base, target = alt, alt+path
 					continue
 				}
@@ -466,9 +483,11 @@ func (c *Client) doTenant(ctx context.Context, method, tenant, path string) (*ht
 		}
 		resp, err := c.doNoRedirect(req)
 		if err != nil {
-			if ctx.Err() == nil && len(c.Peers) > 0 && hop < c.maxRedirects() {
+			// Same failover rule as PushTicks: bounded by the down list,
+			// not the redirect budget.
+			if ctx.Err() == nil && len(c.Peers) > 0 {
 				c.markDown(base)
-				if alt, ok := c.fallback(base); ok {
+				if alt, ok := c.fallback(tenant, base); ok {
 					base, target = alt, alt+path
 					continue
 				}

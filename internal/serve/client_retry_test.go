@@ -169,3 +169,85 @@ func TestPushTicksRetryContextCancelledDuringBackoff(t *testing.T) {
 		t.Fatal("cancellation did not interrupt the backoff sleep")
 	}
 }
+
+// TestRetryHintParsing covers both RFC 9110 Retry-After forms. Delta-seconds
+// parse exactly; HTTP-dates parse to the remaining wait; anything malformed,
+// negative, or already in the past is worthless as a schedule and selects
+// the caller's fallback.
+func TestRetryHintParsing(t *testing.T) {
+	const fallback = 7 * time.Second
+	httpDate := func(d time.Duration) string {
+		return time.Now().Add(d).UTC().Format(http.TimeFormat)
+	}
+	cases := []struct {
+		name   string
+		header string
+		// want is exact unless approx is set, in which case the result must
+		// land within slack of it (HTTP-dates lose sub-second precision and
+		// pay the wall-clock delta between header construction and parse).
+		want   time.Duration
+		approx bool
+	}{
+		{name: "missing", header: "", want: fallback},
+		{name: "delta seconds", header: "2", want: 2 * time.Second},
+		{name: "delta zero", header: "0", want: 0},
+		{name: "delta negative", header: "-3", want: fallback},
+		{name: "garbage", header: "soon", want: fallback},
+		{name: "float rejected", header: "1.5", want: fallback},
+		{name: "http date future", header: httpDate(90 * time.Second), want: 90 * time.Second, approx: true},
+		{name: "http date past", header: httpDate(-time.Minute), want: fallback},
+		{name: "http date rfc850", header: time.Now().Add(time.Hour).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT"), want: time.Hour, approx: true},
+		{name: "http date malformed", header: "Mon, 99 Zed 2099 25:61:61 GMT", want: fallback},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := &http.Response{Header: http.Header{}}
+			if tc.header != "" {
+				resp.Header.Set("Retry-After", tc.header)
+			}
+			got := retryHint(resp, fallback)
+			if tc.approx {
+				const slack = 3 * time.Second
+				if got < tc.want-slack || got > tc.want+slack {
+					t.Fatalf("retryHint(%q) = %v, want ~%v", tc.header, got, tc.want)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("retryHint(%q) = %v, want %v", tc.header, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestClientFallbackPrefersSuccessor: when a tenant's first-choice replica
+// refuses connections, the client's failover target must be the tenant's
+// ring successor — the warm-standby holder — not an arbitrary list walk.
+func TestClientFallbackPrefersSuccessor(t *testing.T) {
+	peers := []string{"http://10.0.0.1:1", "http://10.0.0.2:1", "http://10.0.0.3:1"}
+	c := &Client{Peers: peers}
+	ring, err := c.clusterRing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tenant := range []string{"alpha", "beta", "gamma", "delta", "plant-7"} {
+		owner := ring.Owner(tenant)
+		want := ring.SuccessorAmong(tenant, owner, nil)
+		got, ok := c.fallback(tenant, owner)
+		if !ok || got != want {
+			t.Fatalf("tenant %q: fallback after %s = %q ok=%v, want successor %q", tenant, owner, got, ok, want)
+		}
+		if got == owner {
+			t.Fatalf("tenant %q: fallback returned the avoided replica", tenant)
+		}
+	}
+	// Down-listed successor: the next clockwise peer is chosen instead.
+	tenant := "alpha"
+	owner := ring.Owner(tenant)
+	succ := ring.SuccessorAmong(tenant, owner, nil)
+	c.markDown(succ)
+	got, ok := c.fallback(tenant, owner)
+	if !ok || got == succ || got == owner {
+		t.Fatalf("with successor down, fallback = %q ok=%v; want the third replica", got, ok)
+	}
+}

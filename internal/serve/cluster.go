@@ -106,6 +106,10 @@ func (s *Server) setupCluster(opts Options) error {
 		Mem:      cn.mem,
 		Probe:    s.probePeer,
 		Interval: opts.ProbeInterval,
+		// A revived peer may be missing state that moved while it was
+		// away (tenants adopted by standbys, or everything, after a disk
+		// loss); the resync exchange pends and ships it home.
+		OnChange: s.onPeerChange,
 	}
 	s.cluster = cn
 	return nil
@@ -117,6 +121,112 @@ func (s *Server) stopCluster() {
 		cn.cancel()
 		cn.prober.Stop()
 	}
+	if q := s.repl; q != nil {
+		q.Stop()
+	}
+}
+
+// onPeerChange reacts to probe-observed state transitions. Only recovery
+// needs action: a peer back from Down may have stale state (its tenants were
+// adopted by their standbys while it was unreachable) or none at all. The
+// resync runs in the background — OnChange fires on a prober goroutine and
+// must not block the probe loop.
+func (s *Server) onPeerChange(peer string, _, to cluster.PeerState) {
+	if to != cluster.Alive || s.draining.Load() {
+		return
+	}
+	cn := s.cluster
+	go s.resyncPeer(cn.ctx, peer)
+}
+
+// resyncPeer runs the two-sided recovery exchange with a revived peer:
+//
+//  1. Hello: ask the peer which of OUR tenants it holds (it may have
+//     adopted them while we were partitioned from it); pend those until its
+//     handoffs land, so we never serve a stale local copy.
+//  2. Ship home: for tenants the PEER owns that we hold — adopted sessions,
+//     stranded snapshots, standby copies — announce them as inbound (the
+//     peer pends them instead of serving its own stale state) and ship.
+//
+// Every message is idempotent, so overlapping resyncs (flapping link, both
+// sides recovering at once) converge on the same outcome.
+func (s *Server) resyncPeer(ctx context.Context, peer string) {
+	cn := s.cluster
+	if reply, err := cn.sender.SendUpdate(ctx, peer, cluster.PeerUpdate{Kind: "hello", From: cn.self}); err == nil {
+		cn.setPending(reply.Tenants)
+	}
+	if ctx.Err() != nil {
+		return
+	}
+	if toShip := s.tenantsHeldFor(peer); len(toShip) > 0 {
+		// Best-effort: if the announcement fails the ship still proceeds —
+		// the peer then risks serving briefly stale state (bounded by the
+		// ship landing), which beats stranding the fresher copy here.
+		_, _ = cn.sender.SendUpdate(ctx, peer, cluster.PeerUpdate{Kind: "inbound", From: cn.self, Tenants: toShip})
+		s.shipTenants(peer, toShip)
+	}
+	// Re-seed warm standbys: persists that happened while this replica's
+	// view of the peer was stale (partitioned, or the peer dead) never
+	// reached it, so any resident session whose replication target is the
+	// revived peer is re-offered now. This must run even when nothing ships
+	// home — after a two-way partition heals, the victim typically holds
+	// nothing owned by the revived peer, yet its own post-heal persists were
+	// mis-targeted while its view was stale and the standby would stay stale
+	// forever. The queue coalesces per tenant, so a sweep over every
+	// resident session costs at most one frame each.
+	s.reseedReplication()
+}
+
+// reseedReplication re-offers every resident session to the replication
+// queue against the current membership view. Cheap and idempotent: the
+// receiver ignores frames at or below the ticks it already holds.
+func (s *Server) reseedReplication() {
+	if s.repl == nil {
+		return
+	}
+	for _, sess := range s.reg.all() {
+		sess.mu.Lock()
+		s.replicateLocked(sess.tenant, snapshotOfLocked(sess))
+		sess.mu.Unlock()
+	}
+}
+
+// tenantsHeldFor lists every tenant with state on this replica whose ring
+// owner is peer: resident (possibly adopted) sessions, local snapshots, and
+// standby-store copies held on the peer's behalf.
+func (s *Server) tenantsHeldFor(peer string) []string {
+	seen := make(map[string]struct{})
+	for _, t := range s.tenantsOwnedBy(peer) {
+		seen[t] = struct{}{}
+	}
+	if s.opts.StandbyDir != "" {
+		names, err := standbyTenantsFor(s.fs, s.opts.StandbyDir, peer)
+		if err != nil {
+			s.met.replStoreErrors.Add(1)
+		}
+		for _, t := range names {
+			seen[t] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// standbyShipper resolves which replica is responsible for shipping a
+// standby copy of tenant home to owner under this replica's current view:
+// the tenant's ring successor among peers that are Alive (self always
+// counts — a replica running this code is alive regardless of what its own
+// membership entry says mid-drain).
+func (s *Server) standbyShipper(tenant, owner string) string {
+	cn := s.cluster
+	states := cn.mem.Snapshot()
+	return cn.ring.SuccessorAmong(tenant, owner, func(p string) bool {
+		return p == cn.self || states[p] == cluster.Alive
+	})
 }
 
 // probePeer is the Prober's health check: one GET of the peer's /healthz.
@@ -243,8 +353,15 @@ func (s *Server) clusterGate(w http.ResponseWriter, r *http.Request, tenant stri
 		return false
 	}
 	if owner := cn.owner(tenant); owner != cn.self {
-		s.clusterMisroute(w, r, tenant, owner)
-		return false
+		// Warm-standby promotion: if the owner is Down and this replica is
+		// the tenant's standby with a replicated copy, adopt and serve it
+		// rather than stalling the stream behind the outage. The checks run
+		// per request against the live view, so the standby stops serving
+		// the instant the owner is probed back to Alive.
+		if !s.tryAdopt(tenant, owner) {
+			s.clusterMisroute(w, r, tenant, owner)
+			return false
+		}
 	}
 	if checkPending {
 		switch cn.checkPending(tenant) {
@@ -359,13 +476,14 @@ func (s *Server) shipTenants(peer string, tenants []string) {
 func (s *Server) shipTenant(ctx context.Context, peer, tenant string) error {
 	cn := s.cluster
 	var snap sessionSnapshot
-	have, frozen := false, false
+	have, frozen, wasAdopted := false, false, false
 	if sess := s.reg.get(tenant); sess != nil {
 		sess.mu.Lock()
 		if !sess.gone {
 			sess.gone = true
 			snap = snapshotOfLocked(sess)
 			have, frozen = true, true
+			wasAdopted = sess.adopted
 			s.reg.remove(sess)
 		}
 		sess.mu.Unlock()
@@ -373,12 +491,38 @@ func (s *Server) shipTenant(ctx context.Context, peer, tenant string) error {
 	if !have && s.opts.SnapshotDir != "" {
 		var ok bool
 		var err error
-		snap, ok, err = loadSnapshot(s.fs, s.opts.SnapshotDir, tenant)
+		snap, ok, err = s.loadSnapshotNoted(tenant)
 		if err != nil {
 			s.met.snapshotLoadErrors.Add(1)
 			return err
 		}
 		have = ok
+	}
+	// Last resort: a standby copy held on the destination's behalf. This is
+	// what restores a wiped owner, and it also covers the second-order
+	// failure where the adopting standby itself died and only the copy it
+	// forwarded elsewhere survives. The receiver's more-ticks-wins rule
+	// makes shipping a redundant copy (owner's disk was fine all along) a
+	// harmless ack — but only the tenant's LIVE successor may ship one: a
+	// third replica's forwarded copy is typically staler than the
+	// successor's, and its install would clear the owner's pend before the
+	// fresh state lands, opening exactly the tick-fork window the pend
+	// exists to close. If the successor is down, the ring's next live pick
+	// (which is what this check resolves to) inherits the duty.
+	fromStandby := false
+	if !have && s.opts.StandbyDir != "" && s.standbyShipper(tenant, peer) == cn.self {
+		h, ok, err := loadStandby(s.fs, s.opts.StandbyDir, peer, tenant)
+		if err != nil {
+			s.met.replStoreErrors.Add(1)
+			return err
+		}
+		if ok {
+			if err := json.Unmarshal(h.Payload, &snap); err != nil {
+				s.met.replStoreErrors.Add(1)
+				return fmt.Errorf("serve: decode standby copy for %q: %w", tenant, err)
+			}
+			have, fromStandby = true, true
+		}
 	}
 	if !have {
 		return nil // nothing to ship (e.g. deleted concurrently)
@@ -405,8 +549,39 @@ func (s *Server) shipTenant(ctx context.Context, peer, tenant string) error {
 		return err
 	}
 	s.met.clusterHandoffsSent.Add(1)
-	if s.opts.SnapshotDir != "" {
+	if wasAdopted || fromStandby {
+		s.met.replShipsHome.Add(1)
+	}
+	if s.opts.SnapshotDir != "" && !fromStandby {
 		_ = deleteSnapshot(s.fs, s.opts.SnapshotDir, tenant)
+	}
+	// What happens to the standby copy after an acked ship depends on who we
+	// are. If this replica is the tenant's live standby successor, the state
+	// just shipped IS the owner's current state — keep it (or write it) as
+	// the warm copy, so the tenant stays adoptable in the gap before the
+	// owner's next persist re-seeds replication. Deleting here opens a
+	// no-copy window, and a partition landing inside it strands the tenant:
+	// the owner is unreachable and the successor has nothing to promote.
+	// Any other replica's copy really is superseded — drop it so a later
+	// flap cannot re-ship stale state.
+	if s.opts.StandbyDir != "" {
+		if s.standbyShipper(tenant, peer) == cn.self {
+			if !fromStandby {
+				if old, ok, err := loadStandby(s.fs, s.opts.StandbyDir, peer, tenant); err != nil {
+					s.met.replStoreErrors.Add(1)
+				} else if !ok || old.Ticks < h.Ticks {
+					hc := h
+					hc.From = peer // standby frames carry the OWNER, not the shipper
+					if frame, err := cluster.EncodeHandoff(hc); err == nil {
+						if err := saveStandbyFrame(s.fs, s.opts.StandbyDir, peer, tenant, frame); err != nil {
+							s.met.replStoreErrors.Add(1)
+						}
+					}
+				}
+			}
+		} else if err := deleteStandby(s.fs, s.opts.StandbyDir, peer, tenant); err != nil {
+			s.met.replStoreErrors.Add(1)
+		}
 	}
 	return nil
 }
@@ -430,6 +605,16 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h, err := cluster.DecodeHandoff(body)
+	if errors.Is(err, cluster.ErrBadFrame) {
+		// A short or CRC-broken frame is transmission damage — the sender's
+		// copy is intact, so answer retryable instead of terminal. (A
+		// terminal 400 here would permanently strand a tenant whose handoff
+		// happened to cross a flaky link once.)
+		s.met.clusterHandoffErrors.Add(1)
+		s.retryAfterHeader(w)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	if err != nil {
 		s.met.clusterHandoffErrors.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -491,7 +676,7 @@ func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
 		delete(s.reg.sessions, snap.Tenant)
 	} else if s.opts.SnapshotDir != "" {
 		//mdes:allow(lockcall) install must be atomic with the registry check; one snapshot read on the migration path only, never per-tick
-		old, ok, err := loadSnapshot(s.fs, s.opts.SnapshotDir, snap.Tenant)
+		old, ok, _, err := loadSnapshot(s.fs, s.opts.SnapshotDir, snap.Tenant)
 		if err == nil && ok && old.Stream.Ticks >= snap.Stream.Ticks {
 			s.reg.mu.Unlock()
 			cn.clearPending(snap.Tenant)
@@ -534,7 +719,14 @@ func (s *Server) handleClusterUpdate(w http.ResponseWriter, r *http.Request) {
 	cn := s.cluster
 	var u cluster.PeerUpdate
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&u); err != nil {
-		http.Error(w, fmt.Sprintf("decode update: %v", err), http.StatusBadRequest)
+		// Updates arrive only from cluster peers, whose bodies are
+		// well-formed by construction — a decode failure here is almost
+		// certainly transmission damage (a connection cut mid-body). Answer
+		// retryable: a terminal 400 would make the sender drop a hello or
+		// inbound announcement whose pend is load-bearing, opening a
+		// fresh-start fork window on the tenant it was protecting.
+		s.retryAfterHeader(w)
+		http.Error(w, fmt.Sprintf("decode update: %v", err), http.StatusServiceUnavailable)
 		return
 	}
 	known := false
@@ -549,14 +741,36 @@ func (s *Server) handleClusterUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	switch u.Kind {
 	case "hello":
-		cn.mem.Set(u.From, cluster.Alive)
-		held := s.tenantsOwnedBy(u.From)
+		// A hello proves the sender is reachable again. If we still had it
+		// marked Down, this is a recovery observation just like a prober
+		// success, and must fire the same resync hook: a bare mem.Set here
+		// would leave the prober's next success a no-op (Alive != Down), so
+		// no resyncPeer would ever run on THIS side — and a standby offer
+		// made under the stale Down view (mis-targeted past the "dead"
+		// successor) would stay stranded until the next natural persist.
+		prev := cn.mem.Get(u.From)
+		if cn.mem.Set(u.From, cluster.Alive) && prev == cluster.Down {
+			s.onPeerChange(u.From, prev, cluster.Alive)
+		}
+		// Held state includes standby copies kept on the sender's behalf:
+		// a sender restarting on a wiped disk recovers everything its
+		// standbys replicated, through the same pend-then-ship exchange
+		// that recovers ordinary stranded snapshots.
+		held := s.tenantsHeldFor(u.From)
 		writeJSON(w, cluster.PeerUpdateReply{Tenants: held})
 		if len(held) > 0 && !s.draining.Load() {
 			go s.shipTenants(u.From, held)
 		}
 	case "leave":
 		cn.mem.Set(u.From, cluster.Gone)
+		cn.setPending(u.Tenants)
+		writeJSON(w, cluster.PeerUpdateReply{})
+	case "inbound":
+		// The sender is about to ship us tenants we own (typically adopted
+		// state after our own outage healed). Pend them so their ticks wait
+		// for the fresher copy instead of being served from stale local
+		// state. Membership is untouched — reachability is the prober's
+		// call, and "inbound" must never resurrect a Gone peer.
 		cn.setPending(u.Tenants)
 		writeJSON(w, cluster.PeerUpdateReply{})
 	default:

@@ -43,7 +43,15 @@ type metrics struct {
 	clusterPendingWaits     atomic.Int64 // ticks answered 503 awaiting a handoff
 	clusterPendingExpired   atomic.Int64 // pending entries that hit their TTL
 
+	// Warm-standby counters (rendered only with a standby store configured).
+	snapshotTorn    atomic.Int64 // snapshots found torn/CRC-broken at load
+	replReceived    atomic.Int64 // standby copies received and persisted
+	replPromotions  atomic.Int64 // sessions promoted from the standby store
+	replShipsHome   atomic.Int64 // adopted/standby state shipped back to a revived owner
+	replStoreErrors atomic.Int64 // standby store reads/writes that failed
+
 	scoreLatency histogram
+	replLag      histogram
 }
 
 // histogram is a Prometheus-style cumulative histogram over seconds. Buckets
@@ -59,6 +67,10 @@ type histogram struct {
 // scoreBuckets spans one pairwise scoring call: sub-millisecond cache hits
 // through multi-second cold decodes on large models.
 var scoreBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5}
+
+// replLagBuckets spans snapshot-replication lag (enqueue to standby ack):
+// sub-millisecond same-host ships through multi-second retry storms.
+var replLagBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5}
 
 func newHistogram(bounds []float64) histogram {
 	return histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
@@ -122,6 +134,7 @@ func (m *metrics) write(w io.Writer, sessionsLive, inflight, queueDepth int) {
 	counter(w, "mdes_serve_snapshot_writes_total", "Session snapshots written to disk.", m.snapshotWrites.Load())
 	counter(w, "mdes_serve_snapshot_errors_total", "Session snapshot writes that failed.", m.snapshotErrors.Load())
 	counter(w, "mdes_serve_snapshot_load_errors_total", "Session snapshot reads that failed (corrupt or unreadable).", m.snapshotLoadErrors.Load())
+	counter(w, "mdes_serve_snapshot_torn_total", "Snapshots found torn or CRC-broken at load; the tenant fresh-started.", m.snapshotTorn.Load())
 	counter(w, "mdes_serve_degraded_ticks_total", "Ticks answered with the last valid score and degraded=true.", m.degradedTicks.Load())
 	counter(w, "mdes_serve_score_deadline_misses_total", "Sentence windows that missed the scoring deadline.", m.deadlineMisses.Load())
 	counter(w, "mdes_serve_missing_model_ticks_total", "Sentence windows degraded because a pair model was missing.", m.missingModelTicks.Load())
@@ -145,4 +158,24 @@ func (m *metrics) writeCluster(w io.Writer, peersAlive, pendingTenants, ownedTen
 	gauge(w, "mdes_serve_cluster_peers_alive", "Peers this replica currently believes are alive.", float64(peersAlive))
 	gauge(w, "mdes_serve_cluster_pending_tenants", "Tenants currently awaiting an inbound handoff.", float64(pendingTenants))
 	gauge(w, "mdes_serve_cluster_owned_tenants", "Resident sessions whose ring owner is this replica.", float64(ownedTenants))
+}
+
+// writeStandby renders the warm-standby replication metrics. Queue counters
+// come from the replication queue itself (the single source of truth for
+// enqueue/coalesce/drop accounting); only called with a standby store
+// configured, so standalone and plain-cluster /metrics output is unchanged.
+func (m *metrics) writeStandby(w io.Writer, enq, coalesced, dropped, shipped, shipErrors int64, adopted, standbyHeld, queueDepth int) {
+	counter(w, "mdes_serve_repl_enqueued_total", "Snapshot records accepted into the replication queue.", enq)
+	counter(w, "mdes_serve_repl_coalesced_total", "Snapshot records folded onto an already-queued tenant.", coalesced)
+	counter(w, "mdes_serve_repl_dropped_total", "Snapshot records dropped because the peer's replication queue was full.", dropped)
+	counter(w, "mdes_serve_repl_shipped_total", "Snapshot records shipped to a standby and acknowledged.", shipped)
+	counter(w, "mdes_serve_repl_ship_errors_total", "Snapshot ships that exhausted their retries.", shipErrors)
+	counter(w, "mdes_serve_repl_received_total", "Standby snapshot copies received and persisted for peers.", m.replReceived.Load())
+	counter(w, "mdes_serve_repl_promotions_total", "Sessions promoted from the standby store while their owner was down.", m.replPromotions.Load())
+	counter(w, "mdes_serve_repl_ships_home_total", "Adopted or standby-held tenants shipped back to a revived owner.", m.replShipsHome.Load())
+	counter(w, "mdes_serve_repl_store_errors_total", "Standby store reads or writes that failed.", m.replStoreErrors.Load())
+	gauge(w, "mdes_serve_repl_adopted_sessions", "Resident sessions currently served on behalf of a down owner.", float64(adopted))
+	gauge(w, "mdes_serve_repl_standby_tenants", "Tenant snapshot copies held in the standby store for peers.", float64(standbyHeld))
+	gauge(w, "mdes_serve_repl_queue_depth", "Snapshot records buffered in the replication queue.", float64(queueDepth))
+	m.replLag.write(w, "mdes_serve_repl_lag_seconds", "Replication lag from snapshot enqueue to standby acknowledgement.")
 }

@@ -84,6 +84,19 @@ type Options struct {
 	// ClusterClient is the HTTP client for internal cluster traffic
 	// (probes, handoffs, announcements). Nil selects http.DefaultClient.
 	ClusterClient *http.Client
+	// StandbyDir enables warm-standby replication: after each durable local
+	// snapshot save the snapshot is also shipped, asynchronously, to the
+	// tenant's ring successor, which persists it here keyed by owner. When
+	// a tenant's owner is Down, its standby promotes the replicated copy
+	// and keeps the stream alive; the state ships home when the owner
+	// returns. Requires cluster mode and SnapshotDir. Empty disables
+	// replication (a down owner's tenants answer 503 until it returns).
+	StandbyDir string
+	// ReplQueueCap bounds the per-peer replication queue (distinct tenants
+	// buffered per peer; entries coalesce newest-per-tenant). When the
+	// queue is full new tenants are dropped, never blocking the tick path.
+	// 0 selects 256.
+	ReplQueueCap int
 }
 
 // maxTickLine bounds one NDJSON tick line; a tick is one small JSON object
@@ -108,6 +121,9 @@ type Server struct {
 	// cluster is non-nil in cluster mode (Options.Peers set); see
 	// cluster.go for the sharding, redirect, and handoff machinery.
 	cluster *clusterNode
+	// repl is the warm-standby replication queue, non-nil when both cluster
+	// mode and Options.StandbyDir are configured; see standby.go.
+	repl *cluster.ReplQueue
 
 	slots    chan struct{} // admission tokens for tick requests
 	draining atomic.Bool
@@ -158,6 +174,7 @@ func New(opts Options) (*Server, error) {
 		janitorDone: make(chan struct{}),
 	}
 	s.met.scoreLatency = newHistogram(scoreBuckets)
+	s.met.replLag = newHistogram(replLagBuckets)
 	s.pool = newScorePool(opts.ScoreWorkers, opts.ScoreBatchMax, opts.ScoreLinger, &s.met)
 	if d := opts.ScoreDeadline; d > 0 {
 		s.scorer = func(jobs []mdes.ScoreJob, row []float64) error {
@@ -182,6 +199,23 @@ func New(opts Options) (*Server, error) {
 	if s.cluster != nil {
 		s.mux.HandleFunc("POST "+cluster.HandoffPath, s.handleHandoff)
 		s.mux.HandleFunc("POST "+cluster.UpdatePath, s.handleClusterUpdate)
+		s.mux.HandleFunc("POST "+cluster.ReplicatePath, s.handleReplicate)
+		if opts.StandbyDir != "" {
+			if opts.SnapshotDir == "" {
+				s.pool.close()
+				return nil, errors.New("serve: StandbyDir requires SnapshotDir (replication ships local snapshots)")
+			}
+			cn := s.cluster
+			s.repl = &cluster.ReplQueue{
+				Cap: opts.ReplQueueCap,
+				Ship: func(ctx context.Context, peer string, h cluster.Handoff) error {
+					return cn.sender.SendTo(ctx, peer, cluster.ReplicatePath, h)
+				},
+				Now:   time.Now,
+				OnLag: func(d time.Duration) { s.met.replLag.observe(d) },
+			}
+			s.repl.Start(cn.ring.Peers(), cn.self)
+		}
 		s.cluster.prober.Start()
 		go s.clusterJoin()
 	}
@@ -242,6 +276,11 @@ func (s *Server) persistLocked(v *session) {
 	}
 	v.dirty = false
 	s.met.snapshotWrites.Add(1)
+	// Offer the fresh snapshot to the tenant's warm standby. Offer is a
+	// bounded map update — no IO, no blocking — so replication stays off the
+	// tick path even while holding v.mu; the ship happens asynchronously on
+	// the queue's drainer goroutines.
+	s.replicateLocked(v.tenant, snap)
 }
 
 // acquire returns the tenant's session with its mutex held, creating or
@@ -294,7 +333,7 @@ func (s *Server) createSession(tenant, wantModel string) (*session, int, error) 
 	restored := false
 	if s.opts.SnapshotDir != "" {
 		//mdes:allow(lockcall) creation must be atomic: the registry lock is what stops two requests racing to restore the same tenant; this path never runs per-tick
-		snap, ok, err := loadSnapshot(s.fs, s.opts.SnapshotDir, tenant)
+		snap, ok, err := s.loadSnapshotNoted(tenant)
 		if err != nil {
 			s.reg.mu.Unlock()
 			s.met.snapshotLoadErrors.Add(1)
@@ -405,9 +444,11 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	// Re-check ownership now that the session lock is held: the gate's
 	// answer can go stale if a rebalance ships this tenant away between
 	// gate and acquire, and ticking a shipped (or freshly re-created)
-	// stream here would fork it from the authoritative copy.
+	// stream here would fork it from the authoritative copy. An adopted
+	// session is the one sanctioned exception — the standby serves it for
+	// exactly as long as the owner stays Down.
 	if cn := s.cluster; cn != nil {
-		if owner := cn.owner(tenant); owner != cn.self {
+		if owner := cn.owner(tenant); owner != cn.self && !(sess.adopted && cn.mem.Get(owner) == cluster.Down) {
 			s.release(sess)
 			s.clusterMisroute(w, r, tenant, owner)
 			return
@@ -531,7 +572,7 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.opts.SnapshotDir != "" {
-		snap, ok, err := loadSnapshot(s.fs, s.opts.SnapshotDir, tenant)
+		snap, ok, err := s.loadSnapshotNoted(tenant)
 		if err != nil {
 			s.met.snapshotLoadErrors.Add(1)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -603,6 +644,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 		s.met.writeCluster(w, cn.mem.AliveCount(), cn.pendingCount(), owned)
+		if q := s.repl; q != nil {
+			st := q.Stats()
+			s.met.writeStandby(w, st.Enqueued, st.Coalesced, st.Dropped, st.Shipped, st.Errors,
+				s.adoptedCount(), s.standbyHeldCount(), q.Depth())
+		}
 	}
 }
 

@@ -26,6 +26,12 @@ type session struct {
 	// (under mu). It travels with snapshots and handoffs so a restored
 	// session resumes degraded-mode accounting exactly where it left off.
 	degraded bool
+	// adopted marks a session promoted from this replica's warm-standby
+	// store while its ring owner is Down (under mu). Adopted sessions serve
+	// real state — degraded stays false — but only for as long as the owner
+	// stays Down; the moment it returns, the ownership gate refuses further
+	// ticks and the rebalance sweep ships the session home.
+	adopted bool
 
 	lastUsed time.Time // guarded by registry.mu (LRU/TTL bookkeeping)
 }
@@ -39,6 +45,23 @@ func (s *session) infoLocked() SessionInfo {
 		Emitted:      s.stream.Emitted(),
 		SentenceSpan: s.stream.SentenceSpan(),
 		Degraded:     s.degraded,
+		Adopted:      s.adopted,
+	}
+}
+
+// newAdoptedSession builds the resident session for a promoted standby
+// copy: real restored state (degraded as it was), marked adopted and dirty
+// so the first release persists it into this replica's own snapshot store.
+func newAdoptedSession(tenant string, snap sessionSnapshot, stream *mdes.Stream) *session {
+	return &session{
+		tenant:    tenant,
+		model:     snap.Model,
+		stream:    stream,
+		lastScore: snap.LastScore,
+		degraded:  snap.Degraded,
+		adopted:   true,
+		dirty:     true,
+		lastUsed:  time.Now(),
 	}
 }
 

@@ -51,66 +51,75 @@ func snapshotPath(dir, tenant string) string {
 	return filepath.Join(dir, hex.EncodeToString([]byte(tenant))+".snap")
 }
 
-// saveSnapshot durably replaces the tenant's snapshot: the framed record is
-// written to a temp file, fsynced, and renamed over the previous snapshot, so
-// a crash at any point leaves either the old intact snapshot or the new one —
-// never a torn file that parses. The parent directory is fsynced after the
-// rename; without that the rename (or the very first snapshot's creation)
-// lives only in the dirty directory page and can be undone by power loss.
+// writeDurable durably replaces path with one framed record: temp file in
+// dir, write, fsync, close, rename over path, fsync the directory. A crash
+// at any point leaves either the old intact file or the new one — never a
+// torn file that parses. The directory fsync matters: without it the rename
+// (or the very first file's creation) lives only in the dirty directory page
+// and can be undone by power loss. Shared by the session snapshot store and
+// the warm-standby store, which must not diverge in durability.
+func writeDurable(fsys faultfs.FS, dir, path string, frame []byte) error {
+	tmp, err := fsys.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return err
+	}
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(frame); err != nil {
+		_ = tmp.Close() // the write error is the one reported
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close() // the sync error is the one reported
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// saveSnapshot durably replaces the tenant's snapshot (see writeDurable for
+// the crash-safety argument).
 func saveSnapshot(fsys faultfs.FS, dir, tenant string, snap sessionSnapshot) error {
 	payload, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("serve: encode snapshot for %q: %w", tenant, err)
 	}
 	frame := checkpoint.AppendFrame(make([]byte, 0, len(payload)+8), payload)
-	path := snapshotPath(dir, tenant)
-	tmp, err := fsys.CreateTemp(dir, ".snap-*")
-	if err != nil {
-		return fmt.Errorf("serve: snapshot temp for %q: %w", tenant, err)
-	}
-	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(frame); err != nil {
-		_ = tmp.Close() // the write error is the one reported
+	if err := writeDurable(fsys, dir, snapshotPath(dir, tenant), frame); err != nil {
 		return fmt.Errorf("serve: write snapshot for %q: %w", tenant, err)
-	}
-	if err := tmp.Sync(); err != nil {
-		_ = tmp.Close() // the sync error is the one reported
-		return fmt.Errorf("serve: sync snapshot for %q: %w", tenant, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("serve: close snapshot for %q: %w", tenant, err)
-	}
-	if err := fsys.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("serve: install snapshot for %q: %w", tenant, err)
-	}
-	if err := fsys.SyncDir(dir); err != nil {
-		return fmt.Errorf("serve: sync snapshot dir for %q: %w", tenant, err)
 	}
 	return nil
 }
 
 // loadSnapshot reads a tenant's snapshot if one exists. A missing file is
-// (zero, false, nil); a file whose single frame is torn or fails its CRC is
-// treated the same way — the tenant simply starts a fresh window — while a
-// frame that is intact but does not decode is a real error.
-func loadSnapshot(fsys faultfs.FS, dir, tenant string) (sessionSnapshot, bool, error) {
+// (zero, false, false, nil); a file whose single frame is torn or fails its
+// CRC loads nothing but reports torn=true — the caller decides whether the
+// resulting fresh start is routine (mid-rename crash) or worth surfacing
+// (the Server wrapper counts and logs it; silence here cost a debugging
+// session once). A frame that is intact but does not decode is a real error.
+func loadSnapshot(fsys faultfs.FS, dir, tenant string) (snap sessionSnapshot, ok, torn bool, err error) {
 	data, err := fsys.ReadFile(snapshotPath(dir, tenant))
 	if errors.Is(err, fs.ErrNotExist) {
-		return sessionSnapshot{}, false, nil
+		return sessionSnapshot{}, false, false, nil
 	}
 	if err != nil {
-		return sessionSnapshot{}, false, fmt.Errorf("serve: read snapshot for %q: %w", tenant, err)
+		return sessionSnapshot{}, false, false, fmt.Errorf("serve: read snapshot for %q: %w", tenant, err)
 	}
-	payloads, _, _ := checkpoint.Frames(data)
+	payloads, valid, _ := checkpoint.Frames(data)
 	if len(payloads) == 0 {
-		return sessionSnapshot{}, false, nil
+		// Bytes exist but no frame survived: torn mid-write or corrupted.
+		return sessionSnapshot{}, false, len(data) > 0, nil
 	}
-	var snap sessionSnapshot
-	// Last intact record wins, mirroring the journal's duplicate resolution.
+	// Last intact record wins, mirroring the journal's duplicate resolution;
+	// trailing garbage after the last intact frame still counts as torn.
 	if err := json.Unmarshal(payloads[len(payloads)-1], &snap); err != nil {
-		return sessionSnapshot{}, false, fmt.Errorf("serve: decode snapshot for %q: %w", tenant, err)
+		return sessionSnapshot{}, false, false, fmt.Errorf("serve: decode snapshot for %q: %w", tenant, err)
 	}
-	return snap, true, nil
+	return snap, true, valid != len(data), nil
 }
 
 // listSnapshots returns the tenants that have a snapshot file in dir,

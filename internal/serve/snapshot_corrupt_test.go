@@ -38,7 +38,7 @@ func refSnapshot(t *testing.T, dir string) (sessionSnapshot, []byte) {
 // snapshot.
 func checkDamaged(t *testing.T, dir string, want sessionSnapshot, label string) {
 	t.Helper()
-	got, ok, err := loadSnapshot(faultfs.OS, dir, "plant")
+	got, ok, _, err := loadSnapshot(faultfs.OS, dir, "plant")
 	if err != nil {
 		t.Fatalf("%s: loadSnapshot error: %v", label, err)
 	}
@@ -59,12 +59,15 @@ func TestSnapshotTruncationSweep(t *testing.T) {
 		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		got, ok, err := loadSnapshot(faultfs.OS, dir, "plant")
+		got, ok, torn, err := loadSnapshot(faultfs.OS, dir, "plant")
 		if err != nil {
 			t.Fatalf("cut at %d: %v", cut, err)
 		}
 		if cut < len(data) && ok {
 			t.Fatalf("cut at %d: truncated snapshot parsed as %+v", cut, got)
+		}
+		if cut > 0 && cut < len(data) && !torn {
+			t.Fatalf("cut at %d: truncated snapshot not reported torn", cut)
 		}
 		if cut == len(data) && (!ok || !reflect.DeepEqual(got, want)) {
 			t.Fatalf("full snapshot did not round-trip: ok=%v got=%+v", ok, got)

@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"log"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mdes/internal/cluster"
+	"mdes/internal/faultfs"
+)
+
+// Warm-standby replication: after every durable local snapshot save, the
+// owner asynchronously ships the snapshot to the tenant's ring successor,
+// which persists it in a standby store keyed by (owner, tenant). The copy is
+// pure insurance — it is never served while the owner is reachable — and
+// buys exactly one thing: when the owner's disk is lost (or the owner is
+// partitioned away), the standby can promote the tenant and keep the stream
+// alive from the replicated state instead of answering 503 until a human
+// restores a backup.
+//
+// Invariants (tested by the chaos soaks, documented in DESIGN.md §8):
+//
+//   - The standby never serves a tenant while its owner is anything but
+//     Down. The promotion check runs per request against the live
+//     membership view, so the instant the owner is probed back to Alive the
+//     standby stops accepting and redirects.
+//   - Promotion is idempotent and races safely: installs go through the
+//     registry with the same more-ticks-wins rule as handoffs.
+//   - Adopted state ships home when the owner returns, through the normal
+//     handoff protocol (idempotent), announced first so the owner holds
+//     those tenants pending instead of serving its own stale copy.
+//   - Replication is asynchronous and lossy-by-design under pressure: a
+//     dropped copy degrades the standby's freshness, never the tick path.
+//     The local snapshot remains the durable source of truth.
+
+// standbyPath names a standby copy. Both owner and tenant are hex-encoded
+// (same reasoning as snapshotPath) and joined with "-", which cannot appear
+// in hex, so the mapping is bijective. The store is one flat directory:
+// faultfs.FS has no Mkdir, and a flat namespace keeps the injected
+// filesystem and the real one behaviourally identical.
+func standbyPath(dir, owner, tenant string) string {
+	return filepath.Join(dir, hex.EncodeToString([]byte(owner))+"-"+hex.EncodeToString([]byte(tenant))+".standby")
+}
+
+// saveStandbyFrame durably stores one replicated record, already in its
+// CRC-framed wire form — the frame that survived the network CRC check is
+// byte-for-byte the frame on disk, so there is no re-encode step to corrupt.
+func saveStandbyFrame(fsys faultfs.FS, dir, owner, tenant string, frame []byte) error {
+	return writeDurable(fsys, dir, standbyPath(dir, owner, tenant), frame)
+}
+
+// loadStandby reads a standby copy if one exists. Missing files and torn or
+// CRC-broken frames are (zero, false, nil) — a broken copy is as useless as
+// an absent one, and the caller treats both as "no standby state".
+func loadStandby(fsys faultfs.FS, dir, owner, tenant string) (cluster.Handoff, bool, error) {
+	data, err := fsys.ReadFile(standbyPath(dir, owner, tenant))
+	if errors.Is(err, fs.ErrNotExist) {
+		return cluster.Handoff{}, false, nil
+	}
+	if err != nil {
+		return cluster.Handoff{}, false, fmt.Errorf("serve: read standby copy for %q: %w", tenant, err)
+	}
+	h, err := cluster.DecodeHandoff(data)
+	if errors.Is(err, cluster.ErrBadFrame) {
+		return cluster.Handoff{}, false, nil
+	}
+	if err != nil {
+		return cluster.Handoff{}, false, fmt.Errorf("serve: decode standby copy for %q: %w", tenant, err)
+	}
+	return h, true, nil
+}
+
+// standbyTenantsFor lists the tenants with a standby copy held for owner.
+func standbyTenantsFor(fsys faultfs.FS, dir, owner string) ([]string, error) {
+	names, err := fsys.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: list standby store: %w", err)
+	}
+	prefix := hex.EncodeToString([]byte(owner)) + "-"
+	var tenants []string
+	for _, name := range names {
+		hexName, ok := strings.CutSuffix(name, ".standby")
+		if !ok {
+			continue
+		}
+		rest, ok := strings.CutPrefix(hexName, prefix)
+		if !ok {
+			continue
+		}
+		raw, err := hex.DecodeString(rest)
+		if err != nil {
+			continue
+		}
+		tenants = append(tenants, string(raw))
+	}
+	sort.Strings(tenants)
+	return tenants, nil
+}
+
+// deleteStandby removes a standby copy durably; missing files are fine.
+func deleteStandby(fsys faultfs.FS, dir, owner, tenant string) error {
+	err := fsys.Remove(standbyPath(dir, owner, tenant))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	if err == nil {
+		return fsys.SyncDir(dir)
+	}
+	return nil
+}
+
+// replicateLocked offers the just-persisted snapshot to the tenant's
+// standby. Called from persistLocked with the session mutex held, which is
+// why everything here must be lock-free and IO-free from the queue's point
+// of view: Offer is a bounded map update, and the actual ship happens on the
+// queue's drainer goroutines. The handoff's From field names the tenant's
+// ring OWNER (not necessarily this replica): the receiver keys its store by
+// it, so a copy of adopted state forwarded by a standby still files under
+// the true owner and ships home when that owner revives.
+func (s *Server) replicateLocked(tenant string, snap sessionSnapshot) {
+	cn, q := s.cluster, s.repl
+	if cn == nil || q == nil {
+		return
+	}
+	states := cn.mem.Snapshot()
+	owner := cn.ring.OwnerAmong(tenant, func(p string) bool {
+		st := states[p]
+		return st == cluster.Alive || st == cluster.Down
+	})
+	if owner == "" {
+		owner = cn.self
+	}
+	target := cn.ring.SuccessorAmong(tenant, owner, func(p string) bool {
+		return p != cn.self && states[p] == cluster.Alive
+	})
+	if target == "" {
+		return // nowhere to replicate (single replica, or everyone else down)
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return // the durable local save already succeeded; skip this copy
+	}
+	q.Offer(target, cluster.Handoff{
+		Tenant:  tenant,
+		Model:   snap.Model,
+		Ticks:   snap.Stream.Ticks,
+		From:    owner,
+		Payload: payload,
+	})
+}
+
+// handleReplicate is POST /v1/cluster/replicate: persist one peer's snapshot
+// copy in the standby store. Same framing and Ticks-idempotency as a
+// handoff, but no session is installed and ownership does not move. The
+// frame is stored verbatim after the CRC check.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil || s.opts.StandbyDir == "" {
+		// Terminal on purpose: a peer without a standby store will never
+		// accept copies, so the sender must stop retrying.
+		http.Error(w, "standby store not configured", http.StatusNotFound)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxHandoffBody))
+	if err != nil {
+		s.retryAfterHeader(w)
+		http.Error(w, fmt.Sprintf("read replicate body: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	h, err := cluster.DecodeHandoff(body)
+	if errors.Is(err, cluster.ErrBadFrame) {
+		// Transmission damage: the sender's copy is intact, so ask for a
+		// retry rather than answering with a terminal 4xx.
+		s.retryAfterHeader(w)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if h.From == "" {
+		http.Error(w, "replicate without owner", http.StatusBadRequest)
+		return
+	}
+	if old, ok, err := loadStandby(s.fs, s.opts.StandbyDir, h.From, h.Tenant); err != nil {
+		s.met.replStoreErrors.Add(1)
+		s.retryAfterHeader(w)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	} else if ok && old.Ticks >= h.Ticks {
+		// Duplicate or reordered ship: the held copy is as fresh or fresher.
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	if err := saveStandbyFrame(s.fs, s.opts.StandbyDir, h.From, h.Tenant, body); err != nil {
+		s.met.replStoreErrors.Add(1)
+		s.retryAfterHeader(w)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	s.met.replReceived.Add(1)
+	w.WriteHeader(http.StatusOK)
+}
+
+// tryAdopt decides whether this replica may serve tenant in place of its
+// Down owner, installing a session from the standby store if needed. True
+// means "proceed: a resident session exists and is marked adopted". The
+// conditions are strict on purpose — every one of them guards the
+// single-writer invariant:
+//
+//   - a standby store must be configured (promotion is opt-in),
+//   - the owner must be Down in THIS replica's live view (the check runs
+//     per request, so recovery is noticed at the next request),
+//   - this replica must be the tenant's ring successor among Alive peers
+//     (exactly one standby can promote, derived deterministically),
+//   - replicated state must exist (no silent fresh starts: a tenant whose
+//     copy was dropped stays 503 until its owner returns, same as a
+//     tenant with no standby at all).
+func (s *Server) tryAdopt(tenant, owner string) bool {
+	cn := s.cluster
+	if cn == nil || s.opts.StandbyDir == "" || owner == "" {
+		return false
+	}
+	states := cn.mem.Snapshot()
+	if states[owner] != cluster.Down {
+		return false
+	}
+	standby := cn.ring.SuccessorAmong(tenant, owner, func(p string) bool {
+		return states[p] == cluster.Alive
+	})
+	if standby != cn.self {
+		return false
+	}
+	if sess := s.reg.get(tenant); sess != nil {
+		// Already resident: either a previous request adopted it, or it was
+		// restored from this replica's own snapshot of an earlier adoption.
+		// (Re)mark it; a gone session means an eviction raced us — retry via
+		// the install path below.
+		sess.mu.Lock()
+		if !sess.gone {
+			sess.adopted = true
+			sess.mu.Unlock()
+			return true
+		}
+		sess.mu.Unlock()
+	}
+	h, ok, err := loadStandby(s.fs, s.opts.StandbyDir, owner, tenant)
+	if err != nil {
+		s.met.replStoreErrors.Add(1)
+		return false
+	}
+	if !ok {
+		return false
+	}
+	var snap sessionSnapshot
+	if err := json.Unmarshal(h.Payload, &snap); err != nil || snap.Tenant != tenant {
+		s.met.replStoreErrors.Add(1)
+		return false
+	}
+	model, found := s.opts.Models[snap.Model]
+	if !found {
+		return false
+	}
+	stream, err := model.RestoreStream(snap.Stream)
+	if err != nil {
+		s.met.replStoreErrors.Add(1)
+		return false
+	}
+	stream.SetScorer(s.scorer)
+
+	s.reg.mu.Lock()
+	if existing := s.reg.sessions[tenant]; existing != nil {
+		// Another request won the install race; serve through its session.
+		s.reg.mu.Unlock()
+		existing.mu.Lock()
+		won := !existing.gone
+		if won {
+			existing.adopted = true
+		}
+		existing.mu.Unlock()
+		return won
+	}
+	sess := newAdoptedSession(tenant, snap, stream)
+	s.reg.sessions[tenant] = sess
+	s.reg.mu.Unlock()
+
+	s.met.replPromotions.Add(1)
+	log.Printf("serve: promoted tenant %q from standby copy of %s at %d ticks", tenant, owner, snap.Stream.Ticks)
+	return true
+}
+
+// adoptedCount counts resident adopted sessions (metrics gauge).
+func (s *Server) adoptedCount() int {
+	n := 0
+	for _, sess := range s.reg.all() {
+		sess.mu.Lock()
+		if sess.adopted && !sess.gone {
+			n++
+		}
+		sess.mu.Unlock()
+	}
+	return n
+}
+
+// standbyHeldCount counts standby copies across all owners (metrics gauge).
+func (s *Server) standbyHeldCount() int {
+	if s.opts.StandbyDir == "" {
+		return 0
+	}
+	names, err := s.fs.ReadDir(s.opts.StandbyDir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, name := range names {
+		if strings.HasSuffix(name, ".standby") {
+			n++
+		}
+	}
+	return n
+}
+
+// loadSnapshotNoted is loadSnapshot plus torn-snapshot observability: a
+// snapshot that silently fresh-starts because its frame was torn or failed
+// its CRC is counted and logged. (It used to be fully silent; a disk-level
+// corruption then looks exactly like a tenant that never existed, which
+// costs someone a confused debugging session.)
+func (s *Server) loadSnapshotNoted(tenant string) (sessionSnapshot, bool, error) {
+	snap, ok, torn, err := loadSnapshot(s.fs, s.opts.SnapshotDir, tenant)
+	if torn {
+		s.met.snapshotTorn.Add(1)
+		log.Printf("serve: snapshot for tenant %q is torn or corrupt; serving will fresh-start from zero ticks", tenant)
+	}
+	return snap, ok, err
+}

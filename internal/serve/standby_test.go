@@ -1,0 +1,571 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mdes/internal/cluster"
+	"mdes/internal/faultfs"
+)
+
+// standbyCluster builds an n-replica cluster with warm-standby replication
+// on: every replica gets a standby store and a fast probe interval.
+func standbyCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	return newTestCluster(t, n, func(i int, o *Options) {
+		o.StandbyDir = t.TempDir()
+		o.ProbeInterval = 20 * time.Millisecond
+	})
+}
+
+// standbyIdx returns the replica index holding tenant's warm-standby copy:
+// the ring successor among all peers (everyone is alive in a fresh cluster).
+func (tc *testCluster) standbyIdx(tenant string) int {
+	owner := tc.ring.Owner(tenant)
+	succ := tc.ring.SuccessorAmong(tenant, owner, nil)
+	for i, u := range tc.urls {
+		if u == succ {
+			return i
+		}
+	}
+	tc.t.Fatalf("successor %q of %q not in peer list", succ, tenant)
+	return -1
+}
+
+// waitStandbyCopy polls replica i's standby store until a copy of tenant
+// (owned by owner) with at least wantTicks arrives.
+func waitStandbyCopy(t *testing.T, tc *testCluster, i int, owner, tenant string, wantTicks int) cluster.Handoff {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h, ok, err := loadStandby(tc.srvs[i].fs, tc.srvs[i].opts.StandbyDir, owner, tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok && h.Ticks >= wantTicks {
+			return h
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby copy of %q never reached %d ticks on replica %d (ok=%v ticks=%d)", tenant, wantTicks, i, ok, h.Ticks)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStandbyStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	h := cluster.Handoff{Tenant: "plant-a", Model: "default", Ticks: 42, From: "http://owner:1", Payload: []byte(`{"x":1}`)}
+	frame, err := cluster.EncodeHandoff(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := saveStandbyFrame(faultfs.OS, dir, h.From, h.Tenant, frame); err != nil {
+		t.Fatal(err)
+	}
+
+	got, ok, err := loadStandby(faultfs.OS, dir, h.From, h.Tenant)
+	if err != nil || !ok {
+		t.Fatalf("loadStandby: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Fatalf("round-trip mismatch: got %+v want %+v", got, h)
+	}
+
+	// A second owner's copy of the same tenant name must not collide.
+	h2 := h
+	h2.From = "http://other:1"
+	h2.Ticks = 7
+	frame2, _ := cluster.EncodeHandoff(h2)
+	if err := saveStandbyFrame(faultfs.OS, dir, h2.From, h2.Tenant, frame2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := loadStandby(faultfs.OS, dir, h.From, h.Tenant); got.Ticks != 42 {
+		t.Fatalf("owner A's copy clobbered by owner B's: ticks=%d", got.Ticks)
+	}
+
+	tenants, err := standbyTenantsFor(faultfs.OS, dir, h.From)
+	if err != nil || !reflect.DeepEqual(tenants, []string{"plant-a"}) {
+		t.Fatalf("standbyTenantsFor = %v, %v", tenants, err)
+	}
+
+	// Torn copy: truncate the frame mid-body; load must report a clean miss.
+	path := standbyPath(dir, h.From, h.Tenant)
+	if err := os.WriteFile(path, frame[:len(frame)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := loadStandby(faultfs.OS, dir, h.From, h.Tenant); ok || err != nil {
+		t.Fatalf("torn standby copy: ok=%v err=%v, want clean miss", ok, err)
+	}
+
+	if err := deleteStandby(faultfs.OS, dir, h.From, h.Tenant); err != nil {
+		t.Fatal(err)
+	}
+	if err := deleteStandby(faultfs.OS, dir, h.From, h.Tenant); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	tenants, _ = standbyTenantsFor(faultfs.OS, dir, h.From)
+	if len(tenants) != 0 {
+		t.Fatalf("tenants after delete = %v", tenants)
+	}
+}
+
+// TestReplicationShipsToSuccessor: pushing ticks replicates the snapshot to
+// the tenant's ring successor, keyed by the owner, matching the owner's own
+// durable snapshot tick for tick.
+func TestReplicationShipsToSuccessor(t *testing.T) {
+	tc := standbyCluster(t, 3)
+	client := tc.client()
+	tenant := tc.tenantOwnedBy(0, "repl")
+	ownerIdx, sbIdx := tc.ownerIdx(tenant), tc.standbyIdx(tenant)
+	if ownerIdx == sbIdx {
+		t.Fatal("owner and standby coincide; ring is broken")
+	}
+	ds := coupledDataset(rand.New(rand.NewSource(11)), 24)
+
+	if _, err := client.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 0, 24)); err != nil {
+		t.Fatal(err)
+	}
+	h := waitStandbyCopy(t, tc, sbIdx, tc.urls[ownerIdx], tenant, 24)
+	if h.From != tc.urls[ownerIdx] {
+		t.Fatalf("standby copy keyed by %q, want owner %q", h.From, tc.urls[ownerIdx])
+	}
+	var snap sessionSnapshot
+	if err := json.Unmarshal(h.Payload, &snap); err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotOnDisk(t, tc, ownerIdx, tenant)
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("replicated snapshot differs from the owner's durable one:\n got %+v\nwant %+v", snap, want)
+	}
+
+	// Non-successor replicas hold nothing for this tenant.
+	for i := range tc.srvs {
+		if i == sbIdx {
+			continue
+		}
+		if _, ok, _ := loadStandby(tc.srvs[i].fs, tc.srvs[i].opts.StandbyDir, tc.urls[ownerIdx], tenant); ok {
+			t.Fatalf("replica %d holds a standby copy; only %d should", i, sbIdx)
+		}
+	}
+}
+
+// TestHandleReplicateIdempotent: a stale or duplicate ship must not regress
+// the held copy, and a torn frame must be answered retryable (503 + hint),
+// never terminal.
+func TestHandleReplicateIdempotent(t *testing.T) {
+	tc := standbyCluster(t, 2)
+	target := tc.urls[1]
+	owner := tc.urls[0]
+
+	ship := func(ticks int, mangle func([]byte) []byte) *http.Response {
+		t.Helper()
+		h := cluster.Handoff{Tenant: "idem", Model: "default", Ticks: ticks, From: owner, Payload: []byte(fmt.Sprintf(`{"ticks":%d}`, ticks))}
+		frame, err := cluster.EncodeHandoff(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mangle != nil {
+			frame = mangle(frame)
+		}
+		resp, err := http.Post(target+cluster.ReplicatePath, "application/octet-stream", bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := ship(10, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first ship: %s", resp.Status)
+	}
+	if resp := ship(5, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale ship: %s", resp.Status)
+	}
+	h, ok, err := loadStandby(tc.srvs[1].fs, tc.srvs[1].opts.StandbyDir, owner, "idem")
+	if err != nil || !ok || h.Ticks != 10 {
+		t.Fatalf("held copy after stale ship: ok=%v ticks=%d err=%v, want 10", ok, h.Ticks, err)
+	}
+	if resp := ship(20, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresher ship: %s", resp.Status)
+	}
+	if h, _, _ := loadStandby(tc.srvs[1].fs, tc.srvs[1].opts.StandbyDir, owner, "idem"); h.Ticks != 20 {
+		t.Fatalf("fresher ship not applied: ticks=%d", h.Ticks)
+	}
+
+	// Torn mid-body: transmission damage is retryable, and the held copy
+	// is untouched.
+	resp := ship(30, func(b []byte) []byte { return b[:len(b)/2] })
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("torn ship: %s (Retry-After %q), want 503 with a hint", resp.Status, resp.Header.Get("Retry-After"))
+	}
+	if h, _, _ := loadStandby(tc.srvs[1].fs, tc.srvs[1].opts.StandbyDir, owner, "idem"); h.Ticks != 20 {
+		t.Fatalf("torn ship mutated the held copy: ticks=%d", h.Ticks)
+	}
+}
+
+// TestStandbyPromotionOnOwnerDown is the promotion path end to end: the
+// owner dies after its snapshot replicated, the client fails over to the
+// successor, which serves from the standby copy with adopted=true and
+// degraded=false — real state, not degraded-mode guessing. When the owner
+// returns, the standby stops serving and the state ships home.
+func TestStandbyPromotionOnOwnerDown(t *testing.T) {
+	tc := standbyCluster(t, 3)
+	client := tc.client()
+	tenant := tc.tenantOwnedBy(0, "promo")
+	sbIdx := tc.standbyIdx(tenant)
+	ds := coupledDataset(rand.New(rand.NewSource(13)), 48)
+
+	if _, err := client.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 0, 24)); err != nil {
+		t.Fatal(err)
+	}
+	waitStandbyCopy(t, tc, sbIdx, tc.urls[0], tenant, 24)
+
+	// Kill the owner at the connection level: requests and probes both die,
+	// and the client's conn-error failover fires.
+	tc.swaps[0].set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server must support hijacking")
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	for i := 1; i < 3; i++ {
+		waitState(t, tc.srvs[i].cluster.mem, tc.urls[0], cluster.Down)
+	}
+
+	pts, err := client.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 24, 36))
+	if err != nil {
+		t.Fatalf("push while owner down: %v", err)
+	}
+	for _, p := range pts {
+		if p.Degraded {
+			t.Fatalf("adopted session emitted a degraded point: %+v", p)
+		}
+	}
+	info, err := client.Session(context.Background(), tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Adopted || info.Ticks != 36 {
+		t.Fatalf("session after promotion = %+v, want adopted at 36 ticks", info)
+	}
+	if got := tc.srvs[sbIdx].met.replPromotions.Load(); got != 1 {
+		t.Fatalf("promotions on standby = %d, want 1", got)
+	}
+
+	// Owner returns: its hello pends the tenant, the standby ships the
+	// adopted state home, and the stream resumes on the owner — no tick
+	// lost, no tick replayed.
+	tc.swaps[0].set(tc.srvs[0])
+	for i := 1; i < 3; i++ {
+		waitState(t, tc.srvs[i].cluster.mem, tc.urls[0], cluster.Alive)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for tc.srvs[sbIdx].met.replShipsHome.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("adopted state never shipped home")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := client.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 36, 48)); err != nil {
+		t.Fatalf("push after owner recovery: %v", err)
+	}
+	info, err = client.Session(context.Background(), tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Adopted || info.Ticks != 48 {
+		t.Fatalf("session after ship-home = %+v, want un-adopted at 48 ticks", info)
+	}
+}
+
+// TestStandbyNoCopyStays503: a tenant whose owner is down but whose standby
+// copy never arrived must NOT be fresh-started by the successor — it answers
+// retryable until the owner returns. Silent fresh starts would fork the
+// stream's history.
+func TestStandbyNoCopyStays503(t *testing.T) {
+	tc := standbyCluster(t, 3)
+	client := tc.client()
+	tenant := tc.tenantOwnedBy(0, "nocopy")
+	ds := coupledDataset(rand.New(rand.NewSource(17)), 12)
+
+	// Down the owner before the tenant ever exists: no snapshot, no copy.
+	tc.swaps[0].set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj := w.(http.Hijacker)
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+	}))
+	for i := 1; i < 3; i++ {
+		waitState(t, tc.srvs[i].cluster.mem, tc.urls[0], cluster.Down)
+	}
+	oneShot := tc.client()
+	oneShot.Retry.MaxAttempts = 2
+	_, err := oneShot.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 0, 6))
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("push with no standby copy: err = %v, want *BusyError", err)
+	}
+
+	// Owner back: the tenant starts fresh there, exactly once.
+	tc.swaps[0].set(tc.srvs[0])
+	for i := 1; i < 3; i++ {
+		waitState(t, tc.srvs[i].cluster.mem, tc.urls[0], cluster.Alive)
+	}
+	if _, err := client.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 0, 12)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStandbyShipHomeOnlyFromSuccessor: only the tenant's live ring
+// successor ships a standby copy home. A third replica holding a forwarded
+// (typically staler) copy must sit on it — its ship would install stale
+// state on the revived owner and clear the owner's pend before the
+// successor's fresher copy lands, forking the stream.
+func TestStandbyShipHomeOnlyFromSuccessor(t *testing.T) {
+	tc := standbyCluster(t, 3)
+	client := tc.client()
+	tenant := tc.tenantOwnedBy(0, "oneship")
+	sbIdx := tc.standbyIdx(tenant)
+	thirdIdx := 3 - sbIdx // replicas are {0, sbIdx, thirdIdx}; owner is 0
+	if sbIdx == 0 || thirdIdx == 0 || sbIdx == thirdIdx {
+		t.Fatalf("degenerate ring: owner=0 sb=%d third=%d", sbIdx, thirdIdx)
+	}
+	ds := coupledDataset(rand.New(rand.NewSource(29)), 24)
+
+	if _, err := client.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 0, 12)); err != nil {
+		t.Fatal(err)
+	}
+	h12 := waitStandbyCopy(t, tc, sbIdx, tc.urls[0], tenant, 12)
+	// Plant the @12 copy on the third replica — the shape a standby-of-
+	// standby forward leaves behind — then advance the successor to @24.
+	frame, err := cluster.EncodeHandoff(h12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	third := tc.srvs[thirdIdx]
+	if err := saveStandbyFrame(third.fs, third.opts.StandbyDir, tc.urls[0], tenant, frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 12, 24)); err != nil {
+		t.Fatal(err)
+	}
+	waitStandbyCopy(t, tc, sbIdx, tc.urls[0], tenant, 24)
+
+	// The third replica refuses the ship: no ship-home counted, its copy
+	// left in place (it is not this replica's to resolve).
+	if err := third.shipTenant(context.Background(), tc.urls[0], tenant); err != nil {
+		t.Fatalf("gated shipTenant: %v", err)
+	}
+	if got := third.met.replShipsHome.Load(); got != 0 {
+		t.Fatalf("third replica shipped home %d copies, want 0", got)
+	}
+	if _, ok, _ := loadStandby(third.fs, third.opts.StandbyDir, tc.urls[0], tenant); !ok {
+		t.Fatal("gated ship deleted the third replica's copy")
+	}
+
+	// The successor ships: acked (the live owner dedupes by ticks) and its
+	// copy RETAINED — it is still the warm standby, and dropping it would
+	// leave the tenant unadoptable until the owner's next persist.
+	sb := tc.srvs[sbIdx]
+	if err := sb.shipTenant(context.Background(), tc.urls[0], tenant); err != nil {
+		t.Fatalf("successor shipTenant: %v", err)
+	}
+	if got := sb.met.replShipsHome.Load(); got != 1 {
+		t.Fatalf("successor ships home = %d, want 1", got)
+	}
+	kept, ok, err := loadStandby(sb.fs, sb.opts.StandbyDir, tc.urls[0], tenant)
+	if err != nil || !ok {
+		t.Fatalf("successor's warm copy dropped by the acked ship (ok=%v err=%v)", ok, err)
+	}
+	if kept.Ticks != 24 {
+		t.Fatalf("retained copy at %d ticks, want 24", kept.Ticks)
+	}
+}
+
+// TestResyncReseedsReplicationWithNothingToShip: a replica that holds
+// nothing owned by a revived peer must still re-offer its own resident
+// sessions to the replication queue — after a two-way partition heals, its
+// post-heal persists were targeted under a stale view and the standby would
+// otherwise stay stale until the next organic persist.
+func TestResyncReseedsReplicationWithNothingToShip(t *testing.T) {
+	tc := standbyCluster(t, 3)
+	client := tc.client()
+	tenant := tc.tenantOwnedBy(0, "reseed")
+	ds := coupledDataset(rand.New(rand.NewSource(31)), 12)
+	if _, err := client.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 0, 12)); err != nil {
+		t.Fatal(err)
+	}
+	waitStandbyCopy(t, tc, tc.standbyIdx(tenant), tc.urls[0], tenant, 12)
+
+	owner := tc.srvs[0]
+	before := owner.repl.Stats()
+	// The owner holds nothing owned by replica 1 or 2; the resync must still
+	// sweep its resident sessions back into the queue.
+	owner.resyncPeer(context.Background(), tc.urls[1])
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		after := owner.repl.Stats()
+		if after.Enqueued+after.Coalesced > before.Enqueued+before.Coalesced {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resync with empty ship set never re-offered resident sessions: %+v -> %+v", before, after)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHelloRecoveryTriggersResync: learning that a Down peer is back via
+// its hello must fire the same resync hook as a prober-observed recovery.
+// A bare membership write would leave the prober's own later success a
+// no-op (Alive != Down), so the receiver would never re-offer standby
+// copies that were mis-targeted under the stale Down view.
+func TestHelloRecoveryTriggersResync(t *testing.T) {
+	tc := standbyCluster(t, 3)
+	client := tc.client()
+	tenant := tc.tenantOwnedBy(0, "hello")
+	ds := coupledDataset(rand.New(rand.NewSource(37)), 12)
+	if _, err := client.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 0, 12)); err != nil {
+		t.Fatal(err)
+	}
+	waitStandbyCopy(t, tc, tc.standbyIdx(tenant), tc.urls[0], tenant, 12)
+
+	owner := tc.srvs[0]
+	owner.cluster.mem.Set(tc.urls[1], cluster.Down)
+	before := owner.repl.Stats()
+	body := fmt.Sprintf(`{"kind":"hello","from":%q}`, tc.urls[1])
+	resp, err := http.Post(tc.urls[0]+cluster.UpdatePath, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hello answered %d", resp.StatusCode)
+	}
+	if got := owner.cluster.mem.Get(tc.urls[1]); got != cluster.Alive {
+		t.Fatalf("hello left peer state %v", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		after := owner.repl.Stats()
+		if after.Enqueued+after.Coalesced > before.Enqueued+before.Coalesced {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hello-learned recovery never re-offered standbys: %+v -> %+v", before, after)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClusterUpdateDecodeFailureRetryable: a peer announcement whose body
+// does not decode is transmission damage, not a bad request — it must come
+// back 503 + Retry-After so the sender's retry loop redelivers the pend it
+// carries. (An unknown peer stays terminal: retrying cannot fix identity.)
+func TestClusterUpdateDecodeFailureRetryable(t *testing.T) {
+	tc := standbyCluster(t, 2)
+	resp, err := http.Post(tc.urls[0]+cluster.UpdatePath, "application/json", strings.NewReader(`{"kind":"hello","from":"http`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("truncated update: %s (Retry-After %q), want 503 with a hint", resp.Status, resp.Header.Get("Retry-After"))
+	}
+
+	resp, err = http.Post(tc.urls[0]+cluster.UpdatePath, "application/json", strings.NewReader(`{"kind":"hello","from":"http://nobody:1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-peer update: %s, want terminal 400", resp.Status)
+	}
+}
+
+// TestStandbyMetricsRendered: the repl metric family appears on /metrics
+// only when a standby store is configured, and counts real traffic.
+func TestStandbyMetricsRendered(t *testing.T) {
+	tc := standbyCluster(t, 2)
+	client := tc.client()
+	tenant := tc.tenantOwnedBy(0, "met")
+	ds := coupledDataset(rand.New(rand.NewSource(19)), 12)
+	if _, err := client.PushTicksRetry(context.Background(), tenant, ticksOf(ds, 0, 12)); err != nil {
+		t.Fatal(err)
+	}
+	waitStandbyCopy(t, tc, 1, tc.urls[0], tenant, 12)
+
+	scrape := func(i int) string {
+		resp, err := http.Get(tc.urls[i] + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	owner, sb := scrape(0), scrape(1)
+	if !strings.Contains(owner, "mdes_serve_repl_shipped_total") {
+		t.Fatal("owner /metrics missing repl family")
+	}
+	if !strings.Contains(sb, "mdes_serve_repl_received_total 1") && !strings.Contains(sb, "mdes_serve_repl_received_total") {
+		t.Fatal("standby /metrics missing repl family")
+	}
+	if !strings.Contains(sb, "mdes_serve_repl_standby_tenants 1") {
+		t.Fatalf("standby gauge missing or wrong:\n%s", sb)
+	}
+	if !strings.Contains(owner, "mdes_serve_repl_lag_seconds_count") {
+		t.Fatal("owner /metrics missing repl lag histogram")
+	}
+}
+
+// TestTornSnapshotCounted: a torn local snapshot increments the torn counter
+// and serves fresh instead of failing.
+func TestTornSnapshotCounted(t *testing.T) {
+	dir := t.TempDir()
+	srv, _, c := newTestServer(t, Options{SnapshotDir: dir})
+	tenant := "torn-plant"
+	ds := coupledDataset(rand.New(rand.NewSource(23)), 12)
+	if _, err := c.PushTicks(context.Background(), tenant, ticksOf(ds, 0, 12)); err != nil {
+		t.Fatal(err)
+	}
+	srv.Shutdown(context.Background())
+
+	// Tear the snapshot mid-frame.
+	path := snapshotPath(dir, tenant)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _, c2 := newTestServer(t, Options{SnapshotDir: dir})
+	if _, err := c2.PushTicks(context.Background(), tenant, ticksOf(ds, 0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv2.met.snapshotTorn.Load(); got != 1 {
+		t.Fatalf("snapshotTorn = %d, want 1", got)
+	}
+}

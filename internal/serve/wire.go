@@ -96,4 +96,8 @@ type SessionInfo struct {
 	// Degraded reports whether the session's most recent point was served
 	// degraded (see WirePoint.Degraded).
 	Degraded bool `json:"degraded,omitempty"`
+	// Adopted reports that the session is being served by the tenant's
+	// warm-standby replica while its ring owner is down. The state is real
+	// (restored from the replicated snapshot), so Degraded stays false.
+	Adopted bool `json:"adopted,omitempty"`
 }
